@@ -1,0 +1,122 @@
+// Command moeschedsim runs one scheduling scenario on the simulated cluster
+// under a chosen co-location policy and prints the paper's metrics.
+//
+// Usage:
+//
+//	moeschedsim -policy moe -scenario L8 -seed 7
+//	moeschedsim -policy pairwise -table4
+//	moeschedsim -policy oracle -scenario L10 -verbose
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"moespark/internal/cluster"
+	"moespark/internal/memfunc"
+	"moespark/internal/metrics"
+	"moespark/internal/moe"
+	"moespark/internal/sched"
+	"moespark/internal/workload"
+)
+
+func buildPolicy(name string, seed int64) (cluster.Scheduler, error) {
+	rng := rand.New(rand.NewSource(seed))
+	switch name {
+	case "isolated":
+		return sched.NewIsolated(), nil
+	case "pairwise":
+		return sched.NewPairwise(), nil
+	case "oracle":
+		return sched.NewOracle(), nil
+	case "online":
+		return sched.NewOnlineSearch(rng), nil
+	case "moe":
+		model, err := moe.TrainDefault(rand.New(rand.NewSource(seed + 1)))
+		if err != nil {
+			return nil, fmt.Errorf("training MoE model: %w", err)
+		}
+		return sched.NewMoE(model, rng), nil
+	case "quasar":
+		q, err := sched.TrainQuasar(workload.TrainingSet(), rand.New(rand.NewSource(seed+2)))
+		if err != nil {
+			return nil, fmt.Errorf("training Quasar model: %w", err)
+		}
+		return sched.NewQuasar(q, rng), nil
+	case "unified-linear":
+		return sched.NewUnified(memfunc.LinearPower, rng), nil
+	case "unified-exp":
+		return sched.NewUnified(memfunc.Exponential, rng), nil
+	case "unified-log":
+		return sched.NewUnified(memfunc.NapierianLog, rng), nil
+	default:
+		return nil, fmt.Errorf("unknown policy %q", name)
+	}
+}
+
+func main() {
+	var (
+		policy   = flag.String("policy", "moe", "isolated|pairwise|quasar|moe|oracle|online|unified-linear|unified-exp|unified-log")
+		scenario = flag.String("scenario", "L8", "task-mix scenario label (Table 3: L1..L10)")
+		table4   = flag.Bool("table4", false, "use the paper's exact Table 4 mix instead of a random one")
+		seed     = flag.Int64("seed", 1, "random seed")
+		verbose  = flag.Bool("verbose", false, "print per-application timings")
+	)
+	flag.Parse()
+
+	var jobs []workload.Job
+	var err error
+	if *table4 {
+		jobs, err = workload.Table4Mix()
+	} else {
+		var sc workload.Scenario
+		sc, err = workload.ScenarioByLabel(*scenario)
+		if err == nil {
+			jobs = workload.RandomMix(sc, rand.New(rand.NewSource(*seed)))
+		}
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "moeschedsim:", err)
+		os.Exit(1)
+	}
+
+	p, err := buildPolicy(*policy, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "moeschedsim:", err)
+		os.Exit(1)
+	}
+
+	c := cluster.New(cluster.DefaultConfig())
+	res, err := c.Run(jobs, p)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "moeschedsim:", err)
+		os.Exit(1)
+	}
+	run, err := metrics.FromResult(c, res)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "moeschedsim:", err)
+		os.Exit(1)
+	}
+	cmp := metrics.Compare(run, metrics.SerialBaseline(c, jobs))
+
+	fmt.Printf("policy        %s\n", p.Name())
+	fmt.Printf("applications  %d\n", len(jobs))
+	fmt.Printf("STP           %.2f   (Eq. 1, normalized to isolated execution)\n", cmp.NormalizedSTP)
+	fmt.Printf("ANTT          %.2f   (Eq. 2)\n", run.ANTT)
+	fmt.Printf("ANTT redux    %.1f%%  (vs serial isolated baseline)\n", cmp.ANTTReductionPct)
+	fmt.Printf("makespan      %.1f min (serial baseline: %.1f min, %.2fx speedup)\n",
+		run.MakespanSec/60, metrics.SerialBaseline(c, jobs).MakespanSec/60, cmp.Speedup)
+	fmt.Printf("OOM kills     %d\n", run.OOMKills)
+
+	if *verbose {
+		fmt.Println()
+		fmt.Printf("%-4s %-28s %10s %10s %10s %8s\n", "id", "application", "cis(s)", "ready(s)", "turn(s)", "stp")
+		for _, a := range res.Apps {
+			cis := c.IsolatedTime(a.Job)
+			fmt.Printf("%-4d %-28s %10.0f %10.0f %10.0f %8.2f\n",
+				a.ID, a.Job.String(), cis, a.ReadyTime, a.Turnaround(), cis/a.Turnaround())
+		}
+	}
+}

@@ -1,0 +1,82 @@
+// Interference reproduces the spirit of the paper's Figures 14 and 15 at a
+// small scale: how much does memory-aware co-location slow down (a) the
+// co-located Spark applications themselves and (b) a computation-intensive
+// PARSEC co-runner sharing the host?
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"moespark"
+	"moespark/internal/cluster"
+	"moespark/internal/sched"
+	"moespark/internal/workload"
+)
+
+func main() {
+	model, err := moespark.TrainDefaultModel(rand.New(rand.NewSource(1)))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Single host, as in the paper's interference studies.
+	cfg := moespark.DefaultClusterConfig()
+	cfg.Nodes = 1
+	cfg.MaxExecutorNodes = 1
+
+	fmt.Println("== Spark-on-Spark co-location slowdown (one host) ==")
+	target := must("HB.Kmeans")
+	iso := runOne(cfg, model, []moespark.Job{{Bench: target, InputGB: 45}}, 10)
+	fmt.Printf("%-16s isolated: %.0fs\n", target.FullName(), iso)
+	for _, coName := range []string{"HB.Sort", "BDB.Grep", "SP.Pca", "SB.PageRank"} {
+		co := must(coName)
+		jobs := []moespark.Job{{Bench: target, InputGB: 45}, {Bench: co, InputGB: 30}}
+		sim := moespark.NewCluster(cfg)
+		res, err := sim.Run(jobs, sched.NewMoE(model, rand.New(rand.NewSource(11))))
+		if err != nil {
+			log.Fatal(err)
+		}
+		turn := res.Apps[0].Turnaround()
+		fmt.Printf("  + %-14s target: %.0fs (%+.1f%% vs isolated)\n",
+			co.FullName(), turn, (turn/iso-1)*100)
+	}
+
+	fmt.Println("\n== PARSEC co-runner slowdown under our scheme (one host) ==")
+	for _, p := range workload.ParsecSuite()[:6] {
+		sim := cluster.New(cfg)
+		ft, err := sim.AddForeign(0, p.Name, p.CPULoad, p.MemoryGB, p.RuntimeSec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		jobs := []moespark.Job{{Bench: must("BDB.Wordcount"), InputGB: 30}}
+		// The PARSEC co-runner is a plain OS process outside YARN's resource
+		// view, so the dispatcher's CPU admission rule cannot see it.
+		d := sched.NewMoE(model, rand.New(rand.NewSource(12)))
+		d.CheckCPU = false
+		if _, err := sim.Run(jobs, d); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-14s isolated %.0fs, co-located %.0fs (%+.1f%%)\n",
+			p.Name, p.RuntimeSec, ft.DoneTime, (ft.DoneTime/p.RuntimeSec-1)*100)
+	}
+	fmt.Println("\nPaper: Spark-on-Spark slowdown <10% on average (max <25%); PARSEC <30%.")
+}
+
+func must(name string) *moespark.Benchmark {
+	b, err := moespark.FindBenchmark(name)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return b
+}
+
+func runOne(cfg moespark.ClusterConfig, model *moespark.Model, jobs []moespark.Job, seed int64) float64 {
+	sim := moespark.NewCluster(cfg)
+	res, err := sim.Run(jobs, sched.NewMoE(model, rand.New(rand.NewSource(seed))))
+	if err != nil {
+		log.Fatal(err)
+	}
+	return res.Apps[0].Turnaround()
+}

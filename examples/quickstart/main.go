@@ -1,0 +1,75 @@
+// Quickstart: train the mixture-of-experts memory predictor, predict an
+// unseen application's memory footprint, and run a small co-location
+// schedule on the simulated cluster.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"moespark"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(42))
+
+	// 1. Train the predictor on the paper's 16 HiBench/BigDataBench
+	//    programs (offline profiling is simulated).
+	model, err := moespark.TrainDefaultModel(rng)
+	if err != nil {
+		log.Fatalf("training: %v", err)
+	}
+	fmt.Printf("trained on %d programs, confidence radius %.2f\n",
+		len(model.Programs()), model.ConfidenceRadius())
+
+	// 2. Predict the memory footprint of an unseen Spark-Perf application.
+	app, err := moespark.FindBenchmark("SP.glm-classification")
+	if err != nil {
+		log.Fatal(err)
+	}
+	pred, err := model.Predict(
+		app.Counters(rng),        // runtime features from a ~100MB profiling run
+		app.ProfilePoint(1, rng), // calibration run on a small slice
+		app.ProfilePoint(4, rng), // ... and a larger one
+	)
+	if err != nil {
+		log.Fatalf("prediction: %v", err)
+	}
+	const inputGB = 120.0
+	footprint, err := pred.Func.Eval(inputGB)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s: expert=%s, calibrated %s\n", app.FullName(), pred.Family, pred.Func)
+	fmt.Printf("predicted footprint at %.0fGB: %.1f GB (ground truth %.1f GB)\n",
+		inputGB, footprint, app.Footprint(inputGB))
+
+	// 3. Co-locate a small batch on the simulated 40-node cluster and
+	//    compare against running the jobs one by one in isolation.
+	jobs := []moespark.Job{
+		{Bench: app, InputGB: 120},
+		{Bench: mustFind("HB.Sort"), InputGB: 300},
+		{Bench: mustFind("BDB.PageRank"), InputGB: 30},
+		{Bench: mustFind("SB.Hive"), InputGB: 30},
+	}
+	sim := moespark.NewCluster(moespark.DefaultClusterConfig())
+	res, err := sim.Run(jobs, moespark.NewMoEScheduler(model, rng))
+	if err != nil {
+		log.Fatalf("simulation: %v", err)
+	}
+	cmp, err := moespark.CompareToSerial(sim, res, jobs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nco-located %d jobs: STP %.2f, ANTT reduction %.1f%%, makespan speedup %.2fx\n",
+		len(jobs), cmp.NormalizedSTP, cmp.ANTTReductionPct, cmp.Speedup)
+}
+
+func mustFind(name string) *moespark.Benchmark {
+	b, err := moespark.FindBenchmark(name)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return b
+}

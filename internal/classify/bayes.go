@@ -1,0 +1,100 @@
+package classify
+
+import (
+	"fmt"
+	"math"
+)
+
+// GaussianNB is a Gaussian Naive Bayes classifier: per class, each feature is
+// modelled as an independent normal distribution.
+type GaussianNB struct {
+	dim    int
+	fitted bool
+
+	labels []int
+	priors map[int]float64
+	means  map[int][]float64
+	vars   map[int][]float64
+}
+
+// NewGaussianNB returns an unfitted Gaussian Naive Bayes classifier.
+func NewGaussianNB() *GaussianNB { return &GaussianNB{} }
+
+var _ Classifier = (*GaussianNB)(nil)
+
+// Name implements Classifier.
+func (g *GaussianNB) Name() string { return "NaiveBayes" }
+
+// Fit implements Classifier.
+func (g *GaussianNB) Fit(samples []Sample) error {
+	dim, labels, err := checkSamples(samples)
+	if err != nil {
+		return err
+	}
+	g.dim = dim
+	g.labels = labels
+	g.priors = make(map[int]float64, len(labels))
+	g.means = make(map[int][]float64, len(labels))
+	g.vars = make(map[int][]float64, len(labels))
+	counts := map[int]int{}
+	for _, s := range samples {
+		counts[s.Label]++
+	}
+	for _, l := range labels {
+		g.priors[l] = float64(counts[l]) / float64(len(samples))
+		g.means[l] = make([]float64, dim)
+		g.vars[l] = make([]float64, dim)
+	}
+	for _, s := range samples {
+		m := g.means[s.Label]
+		for j, x := range s.X {
+			m[j] += x
+		}
+	}
+	for _, l := range labels {
+		for j := range g.means[l] {
+			g.means[l][j] /= float64(counts[l])
+		}
+	}
+	for _, s := range samples {
+		m := g.means[s.Label]
+		v := g.vars[s.Label]
+		for j, x := range s.X {
+			d := x - m[j]
+			v[j] += d * d
+		}
+	}
+	const varFloor = 1e-9 // avoid zero variance for constant features
+	for _, l := range labels {
+		for j := range g.vars[l] {
+			g.vars[l][j] = g.vars[l][j]/float64(counts[l]) + varFloor
+		}
+	}
+	g.fitted = true
+	return nil
+}
+
+// Predict implements Classifier.
+func (g *GaussianNB) Predict(x []float64) (int, error) {
+	if !g.fitted {
+		return 0, ErrNotFitted
+	}
+	if len(x) != g.dim {
+		return 0, fmt.Errorf("%w: got %d, want %d", ErrDimMismatch, len(x), g.dim)
+	}
+	best := g.labels[0]
+	bestLL := math.Inf(-1)
+	for _, l := range g.labels {
+		ll := math.Log(g.priors[l])
+		m := g.means[l]
+		v := g.vars[l]
+		for j, xi := range x {
+			d := xi - m[j]
+			ll += -0.5*math.Log(2*math.Pi*v[j]) - d*d/(2*v[j])
+		}
+		if ll > bestLL {
+			best, bestLL = l, ll
+		}
+	}
+	return best, nil
+}

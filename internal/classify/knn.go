@@ -1,0 +1,102 @@
+package classify
+
+import (
+	"fmt"
+	"sort"
+
+	"moespark/internal/mathx"
+)
+
+// KNN is the K-nearest-neighbours classifier the paper deploys as its expert
+// selector. Beyond the Classifier interface it exposes the distance to the
+// nearest neighbour, which the paper uses as a prediction-confidence signal
+// (fall back to a conservative policy when the target program is far from
+// every training program).
+type KNN struct {
+	// K is the number of neighbours consulted; the paper effectively uses
+	// the single nearest training program (K=1).
+	K int
+
+	dim     int
+	fitted  bool
+	samples []Sample
+}
+
+// NewKNN returns a KNN classifier with the given neighbourhood size.
+func NewKNN(k int) *KNN { return &KNN{K: k} }
+
+var _ Classifier = (*KNN)(nil)
+
+// Name implements Classifier.
+func (k *KNN) Name() string { return fmt.Sprintf("KNN(k=%d)", k.K) }
+
+// Fit stores the training set (KNN is a lazy learner). One advantage the
+// paper highlights: adding a new memory function requires no retraining,
+// just new labelled samples.
+func (k *KNN) Fit(samples []Sample) error {
+	if k.K <= 0 {
+		return fmt.Errorf("%w: K=%d", ErrInvalidParam, k.K)
+	}
+	dim, _, err := checkSamples(samples)
+	if err != nil {
+		return err
+	}
+	k.samples = make([]Sample, len(samples))
+	copy(k.samples, samples)
+	k.dim = dim
+	k.fitted = true
+	return nil
+}
+
+// Add inserts one more labelled sample without refitting anything else.
+func (k *KNN) Add(s Sample) error {
+	if !k.fitted {
+		return ErrNotFitted
+	}
+	if len(s.X) != k.dim {
+		return ErrDimMismatch
+	}
+	k.samples = append(k.samples, s)
+	return nil
+}
+
+// Predict implements Classifier.
+func (k *KNN) Predict(x []float64) (int, error) {
+	label, _, err := k.PredictWithDistance(x)
+	return label, err
+}
+
+// PredictWithDistance returns the majority label among the K nearest
+// neighbours and the Euclidean distance to the single nearest one.
+func (k *KNN) PredictWithDistance(x []float64) (label int, nearest float64, err error) {
+	if !k.fitted {
+		return 0, 0, ErrNotFitted
+	}
+	if len(x) != k.dim {
+		return 0, 0, fmt.Errorf("%w: got %d, want %d", ErrDimMismatch, len(x), k.dim)
+	}
+	type neigh struct {
+		dist  float64
+		label int
+	}
+	neighs := make([]neigh, len(k.samples))
+	for i, s := range k.samples {
+		neighs[i] = neigh{dist: mathx.Euclidean(x, s.X), label: s.Label}
+	}
+	sort.SliceStable(neighs, func(a, b int) bool { return neighs[a].dist < neighs[b].dist })
+	kk := k.K
+	if kk > len(neighs) {
+		kk = len(neighs)
+	}
+	votes := map[int]int{}
+	for _, n := range neighs[:kk] {
+		votes[n.label]++
+	}
+	best, bestVotes := neighs[0].label, -1
+	for _, n := range neighs[:kk] { // iterate in distance order for stable ties
+		if v := votes[n.label]; v > bestVotes {
+			best, bestVotes = n.label, v
+		}
+	}
+	return best, neighs[0].dist, nil
+}

@@ -1,0 +1,204 @@
+package classify
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// MLP is a feed-forward neural-network classifier trained with
+// backpropagation (SGD, tanh hidden units, softmax output, cross-entropy
+// loss). The paper's Table 5 evaluates two variants: "MLP" (one hidden
+// layer) and "ANN" (the 3-layer network also used as the unified-model
+// regressor in Figure 9); both are expressed by Hidden.
+type MLP struct {
+	// Hidden lists hidden-layer sizes, e.g. []int{16} or []int{16, 8}.
+	Hidden []int
+	// Epochs is the number of SGD passes (default 400).
+	Epochs int
+	// LearningRate is the SGD step (default 0.05).
+	LearningRate float64
+	// Seed drives weight init and sample shuffling.
+	Seed int64
+	// DisplayName overrides Name() in reports (e.g. "ANN" vs "MLP").
+	DisplayName string
+
+	dim     int
+	fitted  bool
+	labels  []int
+	labelIx map[int]int
+	weights []matrixLayer
+	std     standardizer
+}
+
+type matrixLayer struct {
+	in, out int
+	w       []float64 // (in+1) x out, row-major, last row is bias
+}
+
+func (l *matrixLayer) at(i, j int) float64     { return l.w[i*l.out+j] }
+func (l *matrixLayer) add(i, j int, d float64) { l.w[i*l.out+j] += d }
+
+// NewMLP returns an unfitted MLP with the given hidden layout.
+func NewMLP(hidden []int, seed int64) *MLP {
+	return &MLP{Hidden: hidden, Seed: seed}
+}
+
+var _ Classifier = (*MLP)(nil)
+
+// Name implements Classifier.
+func (m *MLP) Name() string {
+	if m.DisplayName != "" {
+		return m.DisplayName
+	}
+	return fmt.Sprintf("MLP%v", m.Hidden)
+}
+
+// Fit implements Classifier.
+func (m *MLP) Fit(samples []Sample) error {
+	dim, labels, err := checkSamples(samples)
+	if err != nil {
+		return err
+	}
+	if len(labels) < 2 {
+		return ErrSingleClass
+	}
+	if m.Epochs <= 0 {
+		m.Epochs = 400
+	}
+	if m.LearningRate <= 0 {
+		m.LearningRate = 0.05
+	}
+	if len(m.Hidden) == 0 {
+		m.Hidden = []int{16}
+	}
+	m.dim = dim
+	m.labels = labels
+	m.labelIx = make(map[int]int, len(labels))
+	for i, l := range labels {
+		m.labelIx[l] = i
+	}
+	m.std = fitStandardizer(samples, dim)
+	rng := rand.New(rand.NewSource(m.Seed))
+	sizes := append([]int{dim}, m.Hidden...)
+	sizes = append(sizes, len(labels))
+	m.weights = make([]matrixLayer, len(sizes)-1)
+	for i := range m.weights {
+		in, out := sizes[i], sizes[i+1]
+		l := matrixLayer{in: in, out: out, w: make([]float64, (in+1)*out)}
+		scale := 1 / math.Sqrt(float64(in))
+		for j := range l.w {
+			l.w[j] = rng.NormFloat64() * scale
+		}
+		m.weights[i] = l
+	}
+	order := make([]int, len(samples))
+	for i := range order {
+		order[i] = i
+	}
+	for epoch := 0; epoch < m.Epochs; epoch++ {
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		for _, ix := range order {
+			m.backprop(samples[ix])
+		}
+	}
+	m.fitted = true
+	return nil
+}
+
+// forward runs the network, returning every layer's activations
+// (activations[0] is the input, the last entry the softmax output).
+func (m *MLP) forward(x []float64) [][]float64 {
+	acts := make([][]float64, 0, len(m.weights)+1)
+	acts = append(acts, x)
+	cur := x
+	for li, l := range m.weights {
+		next := make([]float64, l.out)
+		for j := 0; j < l.out; j++ {
+			s := l.at(l.in, j) // bias row
+			for i := 0; i < l.in; i++ {
+				s += l.at(i, j) * cur[i]
+			}
+			next[j] = s
+		}
+		if li < len(m.weights)-1 {
+			for j := range next {
+				next[j] = math.Tanh(next[j])
+			}
+		} else {
+			softmaxInPlace(next)
+		}
+		acts = append(acts, next)
+		cur = next
+	}
+	return acts
+}
+
+func softmaxInPlace(v []float64) {
+	maxV := v[0]
+	for _, x := range v[1:] {
+		if x > maxV {
+			maxV = x
+		}
+	}
+	var sum float64
+	for i, x := range v {
+		v[i] = math.Exp(x - maxV)
+		sum += v[i]
+	}
+	for i := range v {
+		v[i] /= sum
+	}
+}
+
+func (m *MLP) backprop(s Sample) {
+	acts := m.forward(m.std.apply(s.X))
+	out := acts[len(acts)-1]
+	// Softmax + cross-entropy gradient: delta = p - onehot.
+	delta := make([]float64, len(out))
+	copy(delta, out)
+	delta[m.labelIx[s.Label]] -= 1
+	for li := len(m.weights) - 1; li >= 0; li-- {
+		l := &m.weights[li]
+		prev := acts[li]
+		var prevDelta []float64
+		if li > 0 {
+			prevDelta = make([]float64, l.in)
+			for i := 0; i < l.in; i++ {
+				var g float64
+				for j := 0; j < l.out; j++ {
+					g += l.at(i, j) * delta[j]
+				}
+				// tanh'(a) = 1 - a².
+				prevDelta[i] = g * (1 - prev[i]*prev[i])
+			}
+		}
+		for j := 0; j < l.out; j++ {
+			step := m.LearningRate * delta[j]
+			for i := 0; i < l.in; i++ {
+				l.add(i, j, -step*prev[i])
+			}
+			l.add(l.in, j, -step) // bias
+		}
+		delta = prevDelta
+	}
+}
+
+// Predict implements Classifier.
+func (m *MLP) Predict(x []float64) (int, error) {
+	if !m.fitted {
+		return 0, ErrNotFitted
+	}
+	if len(x) != m.dim {
+		return 0, fmt.Errorf("%w: got %d, want %d", ErrDimMismatch, len(x), m.dim)
+	}
+	out := m.forward(m.std.apply(x))
+	probs := out[len(out)-1]
+	best, bestP := 0, probs[0]
+	for i, p := range probs[1:] {
+		if p > bestP {
+			best, bestP = i+1, p
+		}
+	}
+	return m.labels[best], nil
+}

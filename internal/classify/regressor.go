@@ -1,0 +1,182 @@
+package classify
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// ANNRegressor is the 3-layer feed-forward regression network the paper uses
+// as the strongest unified-model baseline (Figure 9): one model that maps
+// (features, input size) directly to a memory footprint, instead of
+// selecting among expert curve families.
+type ANNRegressor struct {
+	// Hidden lists hidden-layer sizes (default []int{16, 8}).
+	Hidden []int
+	// Epochs is the number of SGD passes (default 600).
+	Epochs int
+	// LearningRate is the SGD step (default 0.01).
+	LearningRate float64
+	// Seed drives weight init and shuffling.
+	Seed int64
+
+	dim     int
+	fitted  bool
+	weights []matrixLayer
+	std     standardizer
+	// Target normalisation so training is well-conditioned regardless of
+	// footprint scale.
+	yMean, yStd float64
+}
+
+// RegSample is one regression observation.
+type RegSample struct {
+	X []float64
+	Y float64
+}
+
+// NewANNRegressor returns an unfitted regression network.
+func NewANNRegressor(seed int64) *ANNRegressor { return &ANNRegressor{Seed: seed} }
+
+// Fit trains the network on the regression samples.
+func (a *ANNRegressor) Fit(samples []RegSample) error {
+	if len(samples) == 0 {
+		return ErrNoSamples
+	}
+	a.dim = len(samples[0].X)
+	if a.dim == 0 {
+		return fmt.Errorf("%w: empty feature vector", ErrDimMismatch)
+	}
+	for i, s := range samples {
+		if len(s.X) != a.dim {
+			return fmt.Errorf("%w: sample %d", ErrDimMismatch, i)
+		}
+	}
+	if len(a.Hidden) == 0 {
+		a.Hidden = []int{16, 8}
+	}
+	if a.Epochs <= 0 {
+		a.Epochs = 600
+	}
+	if a.LearningRate <= 0 {
+		a.LearningRate = 0.01
+	}
+	// Normalise targets.
+	var mean float64
+	for _, s := range samples {
+		mean += s.Y
+	}
+	mean /= float64(len(samples))
+	var variance float64
+	for _, s := range samples {
+		d := s.Y - mean
+		variance += d * d
+	}
+	variance /= float64(len(samples))
+	a.yMean = mean
+	a.yStd = math.Sqrt(variance)
+	if a.yStd == 0 {
+		a.yStd = 1
+	}
+
+	xs := make([]Sample, len(samples))
+	for i, s := range samples {
+		xs[i] = Sample{X: s.X}
+	}
+	a.std = fitStandardizer(xs, a.dim)
+	rng := rand.New(rand.NewSource(a.Seed))
+	sizes := append([]int{a.dim}, a.Hidden...)
+	sizes = append(sizes, 1)
+	a.weights = make([]matrixLayer, len(sizes)-1)
+	for i := range a.weights {
+		in, out := sizes[i], sizes[i+1]
+		l := matrixLayer{in: in, out: out, w: make([]float64, (in+1)*out)}
+		scale := 1 / math.Sqrt(float64(in))
+		for j := range l.w {
+			l.w[j] = rng.NormFloat64() * scale
+		}
+		a.weights[i] = l
+	}
+	order := make([]int, len(samples))
+	for i := range order {
+		order[i] = i
+	}
+	for epoch := 0; epoch < a.Epochs; epoch++ {
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		for _, ix := range order {
+			a.step(samples[ix])
+		}
+	}
+	a.fitted = true
+	return nil
+}
+
+func (a *ANNRegressor) forward(x []float64) [][]float64 {
+	acts := make([][]float64, 0, len(a.weights)+1)
+	acts = append(acts, x)
+	cur := x
+	for li, l := range a.weights {
+		next := make([]float64, l.out)
+		for j := 0; j < l.out; j++ {
+			s := l.at(l.in, j)
+			for i := 0; i < l.in; i++ {
+				s += l.at(i, j) * cur[i]
+			}
+			next[j] = s
+		}
+		if li < len(a.weights)-1 {
+			for j := range next {
+				next[j] = math.Tanh(next[j])
+			}
+		}
+		acts = append(acts, next)
+		cur = next
+	}
+	return acts
+}
+
+func (a *ANNRegressor) step(s RegSample) {
+	acts := a.forward(a.std.apply(s.X))
+	pred := acts[len(acts)-1][0]
+	target := (s.Y - a.yMean) / a.yStd
+	delta := []float64{pred - target} // squared-error gradient
+	for li := len(a.weights) - 1; li >= 0; li-- {
+		l := &a.weights[li]
+		prev := acts[li]
+		var prevDelta []float64
+		if li > 0 {
+			prevDelta = make([]float64, l.in)
+			for i := 0; i < l.in; i++ {
+				var g float64
+				for j := 0; j < l.out; j++ {
+					g += l.at(i, j) * delta[j]
+				}
+				prevDelta[i] = g * (1 - prev[i]*prev[i])
+			}
+		}
+		for j := 0; j < l.out; j++ {
+			step := a.LearningRate * delta[j]
+			for i := 0; i < l.in; i++ {
+				l.add(i, j, -step*prev[i])
+			}
+			l.add(l.in, j, -step)
+		}
+		delta = prevDelta
+	}
+}
+
+// ErrRegressorNotFitted is returned by Predict before Fit.
+var ErrRegressorNotFitted = errors.New("classify: regressor not fitted")
+
+// Predict returns the regressed value for x.
+func (a *ANNRegressor) Predict(x []float64) (float64, error) {
+	if !a.fitted {
+		return 0, ErrRegressorNotFitted
+	}
+	if len(x) != a.dim {
+		return 0, fmt.Errorf("%w: got %d, want %d", ErrDimMismatch, len(x), a.dim)
+	}
+	acts := a.forward(a.std.apply(x))
+	return acts[len(acts)-1][0]*a.yStd + a.yMean, nil
+}

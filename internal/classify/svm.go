@@ -1,0 +1,146 @@
+package classify
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// LinearSVM is a one-vs-rest linear support vector machine trained with
+// stochastic sub-gradient descent on the L2-regularised hinge loss
+// (Pegasos-style step schedule).
+type LinearSVM struct {
+	// Lambda is the L2 regularisation strength (default 1e-3).
+	Lambda float64
+	// Epochs is the number of SGD passes (default 300).
+	Epochs int
+	// Seed drives sample shuffling.
+	Seed int64
+
+	dim    int
+	fitted bool
+	labels []int
+	std    standardizer
+	// one weight vector (plus bias as the last element) per label
+	w [][]float64
+}
+
+// NewLinearSVM returns an unfitted one-vs-rest linear SVM.
+func NewLinearSVM(seed int64) *LinearSVM { return &LinearSVM{Seed: seed} }
+
+var _ Classifier = (*LinearSVM)(nil)
+
+// Name implements Classifier.
+func (s *LinearSVM) Name() string { return "SVM" }
+
+// Fit implements Classifier.
+func (s *LinearSVM) Fit(samples []Sample) error {
+	dim, labels, err := checkSamples(samples)
+	if err != nil {
+		return err
+	}
+	if len(labels) < 2 {
+		return ErrSingleClass
+	}
+	if s.Lambda <= 0 {
+		s.Lambda = 1e-3
+	}
+	if s.Epochs <= 0 {
+		s.Epochs = 300
+	}
+	s.dim = dim
+	s.labels = labels
+	s.std = fitStandardizer(samples, dim)
+	scaled := make([]Sample, len(samples))
+	for i, sm := range samples {
+		scaled[i] = Sample{X: s.std.apply(sm.X), Label: sm.Label}
+	}
+	s.w = make([][]float64, len(labels))
+	rng := rand.New(rand.NewSource(s.Seed))
+	for li, label := range labels {
+		s.w[li] = s.trainBinary(scaled, label, rng)
+	}
+	s.fitted = true
+	return nil
+}
+
+// trainBinary trains one one-vs-rest margin classifier for label.
+func (s *LinearSVM) trainBinary(samples []Sample, label int, rng *rand.Rand) []float64 {
+	w := make([]float64, s.dim+1) // last slot = bias
+	order := make([]int, len(samples))
+	for i := range order {
+		order[i] = i
+	}
+	t := 0
+	for epoch := 0; epoch < s.Epochs; epoch++ {
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		for _, ix := range order {
+			t++
+			eta := 1 / (s.Lambda * float64(t))
+			sm := samples[ix]
+			y := -1.0
+			if sm.Label == label {
+				y = 1.0
+			}
+			margin := w[s.dim]
+			for i, x := range sm.X {
+				margin += w[i] * x
+			}
+			margin *= y
+			// L2 shrinkage on the weights (not the bias).
+			for i := 0; i < s.dim; i++ {
+				w[i] *= 1 - eta*s.Lambda
+			}
+			if margin < 1 {
+				for i, x := range sm.X {
+					w[i] += eta * y * x
+				}
+				w[s.dim] += eta * y
+			}
+		}
+	}
+	return w
+}
+
+// Predict implements Classifier.
+func (s *LinearSVM) Predict(x []float64) (int, error) {
+	if !s.fitted {
+		return 0, ErrNotFitted
+	}
+	if len(x) != s.dim {
+		return 0, fmt.Errorf("%w: got %d, want %d", ErrDimMismatch, len(x), s.dim)
+	}
+	x = s.std.apply(x)
+	bestIx := 0
+	bestScore := 0.0
+	for li := range s.labels {
+		w := s.w[li]
+		score := w[s.dim]
+		for i, xi := range x {
+			score += w[i] * xi
+		}
+		if li == 0 || score > bestScore {
+			bestIx, bestScore = li, score
+		}
+	}
+	return s.labels[bestIx], nil
+}
+
+// Registry returns fresh factories for every classifier in the paper's
+// Table 5, keyed by the paper's display names, with deterministic seeds
+// derived from the supplied base seed.
+func Registry(seed int64) map[string]func() Classifier {
+	return map[string]func() Classifier{
+		"Naive Bayes":    func() Classifier { return NewGaussianNB() },
+		"SVM":            func() Classifier { return NewLinearSVM(seed) },
+		"MLP":            func() Classifier { return NewMLP([]int{12}, seed+1) },
+		"Random Forests": func() Classifier { return NewRandomForest(50, seed+2) },
+		"Decision Tree":  func() Classifier { return NewDecisionTree(0) },
+		"ANN":            func() Classifier { m := NewMLP([]int{16, 8}, seed+3); m.DisplayName = "ANN"; return m },
+		"KNN":            func() Classifier { return NewKNN(1) },
+	}
+}
+
+// RegistryNames returns the Table 5 classifier names in the paper's order.
+func RegistryNames() []string {
+	return []string{"Naive Bayes", "SVM", "MLP", "Random Forests", "Decision Tree", "ANN", "KNN"}
+}

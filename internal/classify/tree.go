@@ -1,0 +1,279 @@
+package classify
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// DecisionTree is a CART-style binary classification tree split on the Gini
+// impurity criterion.
+type DecisionTree struct {
+	// MaxDepth bounds tree depth; 0 means unbounded.
+	MaxDepth int
+	// MinLeaf is the minimum number of samples in a leaf (default 1).
+	MinLeaf int
+	// featureSubset, when non-nil, draws a random subset of features at
+	// every split (used by RandomForest).
+	featureSubset func(dim int) []int
+
+	dim    int
+	fitted bool
+	root   *treeNode
+}
+
+type treeNode struct {
+	leaf    bool
+	label   int
+	feature int
+	thresh  float64
+	left    *treeNode
+	right   *treeNode
+}
+
+// NewDecisionTree returns an unfitted CART tree.
+func NewDecisionTree(maxDepth int) *DecisionTree {
+	return &DecisionTree{MaxDepth: maxDepth, MinLeaf: 1}
+}
+
+var _ Classifier = (*DecisionTree)(nil)
+
+// Name implements Classifier.
+func (t *DecisionTree) Name() string { return "DecisionTree" }
+
+// Fit implements Classifier.
+func (t *DecisionTree) Fit(samples []Sample) error {
+	dim, _, err := checkSamples(samples)
+	if err != nil {
+		return err
+	}
+	if t.MinLeaf <= 0 {
+		t.MinLeaf = 1
+	}
+	t.dim = dim
+	work := make([]Sample, len(samples))
+	copy(work, samples)
+	t.root = t.build(work, 0)
+	t.fitted = true
+	return nil
+}
+
+func majority(samples []Sample) int {
+	votes := map[int]int{}
+	for _, s := range samples {
+		votes[s.Label]++
+	}
+	best, bestV := samples[0].Label, -1
+	// Deterministic tie-break: smallest label wins among maxima.
+	labels := make([]int, 0, len(votes))
+	for l := range votes {
+		labels = append(labels, l)
+	}
+	sort.Ints(labels)
+	for _, l := range labels {
+		if votes[l] > bestV {
+			best, bestV = l, votes[l]
+		}
+	}
+	return best
+}
+
+func gini(counts map[int]int, n int) float64 {
+	if n == 0 {
+		return 0
+	}
+	g := 1.0
+	for _, c := range counts {
+		p := float64(c) / float64(n)
+		g -= p * p
+	}
+	return g
+}
+
+func pure(samples []Sample) bool {
+	for _, s := range samples[1:] {
+		if s.Label != samples[0].Label {
+			return false
+		}
+	}
+	return true
+}
+
+func (t *DecisionTree) build(samples []Sample, depth int) *treeNode {
+	if len(samples) <= t.MinLeaf || pure(samples) || (t.MaxDepth > 0 && depth >= t.MaxDepth) {
+		return &treeNode{leaf: true, label: majority(samples)}
+	}
+	feats := make([]int, t.dim)
+	for i := range feats {
+		feats[i] = i
+	}
+	if t.featureSubset != nil {
+		feats = t.featureSubset(t.dim)
+	}
+	bestFeat, bestThresh, bestGain := -1, 0.0, 0.0
+	parentCounts := map[int]int{}
+	for _, s := range samples {
+		parentCounts[s.Label]++
+	}
+	parentGini := gini(parentCounts, len(samples))
+	for _, f := range feats {
+		// Sort indices by feature value and scan candidate thresholds.
+		ordered := make([]Sample, len(samples))
+		copy(ordered, samples)
+		sort.SliceStable(ordered, func(a, b int) bool { return ordered[a].X[f] < ordered[b].X[f] })
+		leftCounts := map[int]int{}
+		rightCounts := map[int]int{}
+		for l, c := range parentCounts {
+			rightCounts[l] = c
+		}
+		for i := 0; i < len(ordered)-1; i++ {
+			leftCounts[ordered[i].Label]++
+			rightCounts[ordered[i].Label]--
+			if ordered[i].X[f] == ordered[i+1].X[f] {
+				continue // cannot split between equal values
+			}
+			nl, nr := i+1, len(ordered)-i-1
+			if nl < t.MinLeaf || nr < t.MinLeaf {
+				continue
+			}
+			w := parentGini -
+				(float64(nl)*gini(leftCounts, nl)+float64(nr)*gini(rightCounts, nr))/float64(len(ordered))
+			if w > bestGain {
+				bestGain = w
+				bestFeat = f
+				bestThresh = (ordered[i].X[f] + ordered[i+1].X[f]) / 2
+			}
+		}
+	}
+	if bestFeat < 0 {
+		return &treeNode{leaf: true, label: majority(samples)}
+	}
+	var left, right []Sample
+	for _, s := range samples {
+		if s.X[bestFeat] <= bestThresh {
+			left = append(left, s)
+		} else {
+			right = append(right, s)
+		}
+	}
+	if len(left) == 0 || len(right) == 0 {
+		return &treeNode{leaf: true, label: majority(samples)}
+	}
+	return &treeNode{
+		feature: bestFeat,
+		thresh:  bestThresh,
+		left:    t.build(left, depth+1),
+		right:   t.build(right, depth+1),
+	}
+}
+
+// Predict implements Classifier.
+func (t *DecisionTree) Predict(x []float64) (int, error) {
+	if !t.fitted {
+		return 0, ErrNotFitted
+	}
+	if len(x) != t.dim {
+		return 0, fmt.Errorf("%w: got %d, want %d", ErrDimMismatch, len(x), t.dim)
+	}
+	n := t.root
+	for !n.leaf {
+		if x[n.feature] <= n.thresh {
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	return n.label, nil
+}
+
+// RandomForest is a bagged ensemble of CART trees with per-split random
+// feature subsets.
+type RandomForest struct {
+	// Trees is the ensemble size (default 50).
+	Trees int
+	// MaxDepth bounds each tree (0 = unbounded).
+	MaxDepth int
+	// Seed drives bootstrap sampling and feature subsets.
+	Seed int64
+
+	dim    int
+	fitted bool
+	forest []*DecisionTree
+}
+
+// NewRandomForest returns an unfitted forest with n trees.
+func NewRandomForest(n int, seed int64) *RandomForest {
+	return &RandomForest{Trees: n, Seed: seed}
+}
+
+var _ Classifier = (*RandomForest)(nil)
+
+// Name implements Classifier.
+func (rf *RandomForest) Name() string { return "RandomForests" }
+
+// Fit implements Classifier.
+func (rf *RandomForest) Fit(samples []Sample) error {
+	dim, _, err := checkSamples(samples)
+	if err != nil {
+		return err
+	}
+	if rf.Trees <= 0 {
+		rf.Trees = 50
+	}
+	rf.dim = dim
+	rng := rand.New(rand.NewSource(rf.Seed))
+	rf.forest = make([]*DecisionTree, 0, rf.Trees)
+	// sqrt(dim) features per split, the standard heuristic.
+	sub := 1
+	for sub*sub < dim {
+		sub++
+	}
+	for i := 0; i < rf.Trees; i++ {
+		boot := make([]Sample, len(samples))
+		for j := range boot {
+			boot[j] = samples[rng.Intn(len(samples))]
+		}
+		tr := NewDecisionTree(rf.MaxDepth)
+		treeRng := rand.New(rand.NewSource(rng.Int63()))
+		tr.featureSubset = func(d int) []int {
+			perm := treeRng.Perm(d)
+			return perm[:sub]
+		}
+		if err := tr.Fit(boot); err != nil {
+			return fmt.Errorf("classify: fitting forest tree %d: %w", i, err)
+		}
+		rf.forest = append(rf.forest, tr)
+	}
+	rf.fitted = true
+	return nil
+}
+
+// Predict implements Classifier.
+func (rf *RandomForest) Predict(x []float64) (int, error) {
+	if !rf.fitted {
+		return 0, ErrNotFitted
+	}
+	if len(x) != rf.dim {
+		return 0, fmt.Errorf("%w: got %d, want %d", ErrDimMismatch, len(x), rf.dim)
+	}
+	votes := map[int]int{}
+	for _, tr := range rf.forest {
+		l, err := tr.Predict(x)
+		if err != nil {
+			return 0, err
+		}
+		votes[l]++
+	}
+	labels := make([]int, 0, len(votes))
+	for l := range votes {
+		labels = append(labels, l)
+	}
+	sort.Ints(labels)
+	best, bestV := labels[0], -1
+	for _, l := range labels {
+		if votes[l] > bestV {
+			best, bestV = l, votes[l]
+		}
+	}
+	return best, nil
+}

@@ -1,0 +1,156 @@
+package cluster
+
+import (
+	"fmt"
+
+	"moespark/internal/workload"
+)
+
+// AppState tracks an application through its lifecycle.
+type AppState int
+
+// Application lifecycle states.
+const (
+	// StateQueued: submitted, waiting for a profiling slot (or directly
+	// ready if the policy needs no profiling).
+	StateQueued AppState = iota + 1
+	// StateProfiling: running feature-extraction/calibration passes on the
+	// coordinating node.
+	StateProfiling
+	// StateReady: profiled and waiting for executors.
+	StateReady
+	// StateRunning: at least one executor is processing data.
+	StateRunning
+	// StateDone: all input processed.
+	StateDone
+)
+
+// String implements fmt.Stringer.
+func (s AppState) String() string {
+	switch s {
+	case StateQueued:
+		return "queued"
+	case StateProfiling:
+		return "profiling"
+	case StateReady:
+		return "ready"
+	case StateRunning:
+		return "running"
+	case StateDone:
+		return "done"
+	default:
+		return fmt.Sprintf("AppState(%d)", int(s))
+	}
+}
+
+// App is one submitted application.
+type App struct {
+	// ID is the submission index (FCFS order).
+	ID int
+	// Job is the benchmark + input size.
+	Job workload.Job
+
+	// SubmitTime, ReadyTime, StartTime, DoneTime are simulation timestamps
+	// (seconds); Ready/Start/Done are -1 until reached.
+	SubmitTime float64
+	ReadyTime  float64
+	StartTime  float64
+	DoneTime   float64
+
+	// RemainingGB is unprocessed input.
+	RemainingGB float64
+	// ProfileGB is the profiling volume the policy requested; it is
+	// processed on the coordinator.
+	ProfileGB float64
+	// ContributeGB is the part of the profiling volume whose output counts
+	// towards completion.
+	ContributeGB float64
+	// profileLeft tracks profiling progress.
+	profileLeft float64
+
+	// MaxExecutors is the fleet-size cap from dynamic allocation.
+	MaxExecutors int
+	// Executors currently running for this app.
+	Executors []*Executor
+	// OOMKills counts executors lost to out-of-memory on an oversubscribed
+	// node.
+	OOMKills int
+
+	// State is the current lifecycle state.
+	State AppState
+
+	// blockedNodes lists nodes where an executor of this app was OOM-killed;
+	// the app is not rescheduled there (the paper re-runs OOM victims
+	// elsewhere, in isolation).
+	blockedNodes map[int]bool
+	// startupUntil is the time processing can begin (launch latency).
+	startupUntil float64
+
+	// Estimate is scratch space for the scheduling policy (e.g. the
+	// calibrated memory function); the engine never touches it.
+	Estimate any
+}
+
+// Turnaround returns DoneTime - SubmitTime, the quantity ANTT averages.
+func (a *App) Turnaround() float64 {
+	if a.DoneTime < 0 {
+		return -1
+	}
+	return a.DoneTime - a.SubmitTime
+}
+
+// BlockedOn reports whether the node is blacklisted for this app after an
+// OOM kill.
+func (a *App) BlockedOn(n *Node) bool { return a.blockedNodes[n.ID] }
+
+// blockNode blacklists a node for this app.
+func (a *App) blockNode(n *Node) {
+	if a.blockedNodes == nil {
+		a.blockedNodes = map[int]bool{}
+	}
+	a.blockedNodes[n.ID] = true
+}
+
+// ExecutorOn reports whether the app already has an executor on the node.
+func (a *App) ExecutorOn(n *Node) bool {
+	for _, e := range a.Executors {
+		if e.Node == n {
+			return true
+		}
+	}
+	return false
+}
+
+// Executor is one executor process placed on a node.
+type Executor struct {
+	App  *App
+	Node *Node
+	// ReservedGB is the admission-time memory reservation (heap size the
+	// scheduler granted).
+	ReservedGB float64
+	// ItemsGB is the data allocation the scheduler granted (the "number of
+	// RDD data items" in paper terms).
+	ItemsGB float64
+	// NeedGB is the true memory demand for the allocation, from the
+	// workload ground truth; it may exceed ReservedGB when the policy
+	// under-predicted.
+	NeedGB float64
+	// ActualGB is the resident memory: the JVM caps the heap at the
+	// reservation, so residency is min(NeedGB, ReservedGB*(1+offheap));
+	// the un-resident remainder spills, which the heap penalty models.
+	ActualGB float64
+	// Demand is the executor's CPU demand as a fraction of the node.
+	Demand float64
+	// FairShareGB is the per-executor data share at spawn time, used for
+	// the cache-efficiency penalty.
+	FairShareGB float64
+	// SpawnTime records when the executor started.
+	SpawnTime float64
+
+	// rate is the current processing rate (GB/s), recomputed between
+	// events.
+	rate float64
+}
+
+// Rate returns the executor's current processing rate in GB/s.
+func (e *Executor) Rate() float64 { return e.rate }

@@ -1,0 +1,143 @@
+// Package cluster is a discrete-event simulator of the paper's evaluation
+// platform: a 40-node cluster (8-core/16-thread Xeon, 64 GB RAM, 16 GB swap
+// per node) running Spark executors under a YARN-like resource manager.
+//
+// The simulator models exactly the quantities the paper's scheduling problem
+// depends on: per-executor memory footprints (ground truth from the
+// workload models), admission-time memory reservations, CPU demand
+// aggregation and contention, paging when actual memory use overflows a
+// node, out-of-memory kills when it overflows swap, RDD-cache efficiency
+// when an executor is given fewer data items than its fair share, and a
+// coordinating node that runs profiling passes whose output counts towards
+// job completion. Progress is fluid (piecewise-constant rates integrated
+// between events), which keeps runs deterministic and fast while preserving
+// the contention behaviour that separates the co-location policies.
+package cluster
+
+// Config describes the simulated platform. DefaultConfig matches the paper's
+// testbed (Section 5.1).
+type Config struct {
+	// Nodes is the number of computing nodes (the driver runs on a separate
+	// coordinating node).
+	Nodes int
+	// RAMGB is physical memory per node.
+	RAMGB float64
+	// OSReserveGB is memory unavailable to executors (OS, daemons, HDFS).
+	OSReserveGB float64
+	// SwapGB is swap space per node; actual use beyond RAM spills here with
+	// a heavy paging penalty, and beyond RAM+swap executors are OOM-killed.
+	SwapGB float64
+	// PagePenalty scales the paging slowdown: executor rates are divided by
+	// (1 + PagePenalty * overflowGB / usableGB) while a node's actual
+	// memory use exceeds the pressure watermark.
+	PagePenalty float64
+	// PressureWatermark is the fraction of usable memory beyond which the
+	// node is under memory pressure (page-cache loss, GC storms) and the
+	// paging penalty starts to apply.
+	PressureWatermark float64
+	// ProfilingRateFactor scales an application's scan rate during
+	// profiling runs (instrumented, single-host execution is slower).
+	ProfilingRateFactor float64
+	// HeapPenalty scales the executor-level slowdown when an executor's
+	// true footprint exceeds its granted heap (reservation): spilling,
+	// recomputation and GC thrash. The rate is divided by
+	// (1 + HeapPenalty * (shortfall/reserve)^2), floored at HeapFloor —
+	// quadratic, so small under-predictions are survivable and large ones
+	// are crippling.
+	HeapPenalty float64
+	// HeapFloor bounds the heap-pressure penalty from below.
+	HeapFloor float64
+	// OffHeapFrac is how far an executor's resident memory can exceed its
+	// granted heap (JVM metaspace, off-heap buffers) before the excess
+	// spills to disk instead of RAM.
+	OffHeapFrac float64
+	// InterferenceAlpha is the mild co-location slowdown from shared
+	// caches/memory bandwidth even when CPU is not saturated: rates are
+	// divided by (1 + alpha * co-runner CPU demand).
+	InterferenceAlpha float64
+	// CacheGamma shapes the RDD-cache efficiency penalty for executors
+	// allocated fewer data items than their fair share: rate is multiplied
+	// by (items/fairShare)^CacheGamma (capped at 1).
+	CacheGamma float64
+	// CacheFloor bounds the cache-efficiency penalty from below.
+	CacheFloor float64
+	// CoordinatorRateGBps is the aggregate profiling throughput of the
+	// coordinating node. Profiling applications share it processor-style:
+	// each proceeds at its own scan rate, scaled down when the sum of scan
+	// rates exceeds the capacity.
+	CoordinatorRateGBps float64
+	// MaxExecutorNodes caps how many nodes a single application spreads
+	// over (Spark dynamic allocation).
+	MaxExecutorNodes int
+	// ExecutorSpreadGB is the input volume one executor is sized for when
+	// deciding an app's executor fleet: fleet = ceil(input/ExecutorSpreadGB).
+	ExecutorSpreadGB float64
+	// MinChunkGB is the smallest data allocation worth spawning an executor
+	// for.
+	MinChunkGB float64
+	// OOMReprocessFrac is the fraction of an OOM-killed executor's
+	// allocation that must be reprocessed (lost partial work).
+	OOMReprocessFrac float64
+	// StartupSec is the application/executor launch latency (driver start,
+	// JVM spin-up, YARN container allocation) before processing begins.
+	StartupSec float64
+	// TraceInterval, when positive, samples per-node utilization every so
+	// many simulated seconds (Figure 7).
+	TraceInterval float64
+}
+
+// DefaultConfig returns the paper's platform.
+func DefaultConfig() Config {
+	return Config{
+		Nodes:               40,
+		RAMGB:               64,
+		OSReserveGB:         4,
+		SwapGB:              16,
+		PagePenalty:         30,
+		PressureWatermark:   0.92,
+		ProfilingRateFactor: 0.7,
+		HeapPenalty:         4,
+		HeapFloor:           0.05,
+		OffHeapFrac:         0.15,
+		InterferenceAlpha:   0.12,
+		CacheGamma:          0.3,
+		CacheFloor:          0.6,
+		CoordinatorRateGBps: 1.2,
+		MaxExecutorNodes:    40,
+		ExecutorSpreadGB:    16,
+		MinChunkGB:          0.05,
+		OOMReprocessFrac:    1.0,
+		StartupSec:          8,
+		TraceInterval:       0,
+	}
+}
+
+// UsableGB is the per-node memory available to executors.
+func (c Config) UsableGB() float64 { return c.RAMGB - c.OSReserveGB }
+
+// AllocatableGB is the memory a node advertises for reservations: the
+// pressure watermark keeps a safety band below the physical limit, exactly
+// like YARN's node-manager resource setting.
+func (c Config) AllocatableGB() float64 {
+	w := c.PressureWatermark
+	if w <= 0 || w > 1 {
+		w = 1
+	}
+	return w * c.UsableGB()
+}
+
+// NodesFor returns the executor-fleet size Spark's dynamic allocation picks
+// for an input of the given size.
+func (c Config) NodesFor(inputGB float64) int {
+	n := int((inputGB + c.ExecutorSpreadGB - 1) / c.ExecutorSpreadGB)
+	if inputGB > 0 && n < 1 {
+		n = 1
+	}
+	if n > c.MaxExecutorNodes {
+		n = c.MaxExecutorNodes
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}

@@ -1,0 +1,543 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"moespark/internal/workload"
+)
+
+// ProfilePlan describes the profiling a policy performs for one application
+// before scheduling it: VolumeGB is processed on the coordinating node (and
+// costs time); ContributesGB of it is useful output that counts towards the
+// job (the paper's profiling wastes no cycles; an online search wastes most
+// of its probing volume).
+type ProfilePlan struct {
+	VolumeGB      float64
+	ContributesGB float64
+}
+
+// ContributingProfile is the common case: all profiled data contributes.
+func ContributingProfile(gb float64) ProfilePlan {
+	return ProfilePlan{VolumeGB: gb, ContributesGB: gb}
+}
+
+// Scheduler is a co-location policy driving the simulated cluster. The
+// engine invokes Prepare once per submitted application (to plan profiling)
+// and Schedule whenever cluster state changes (submission, profiling
+// completion, executor/app completion).
+type Scheduler interface {
+	// Name identifies the policy in reports.
+	Name() string
+	// Prepare returns the profiling plan the policy needs for the
+	// application before it becomes schedulable. Profiling runs on the
+	// coordinating node; the contributed part of its output counts towards
+	// job completion, as in the paper. Return the zero plan for no
+	// profiling.
+	Prepare(c *Cluster, app *App) ProfilePlan
+	// Schedule may inspect the cluster and spawn executors via Spawn.
+	Schedule(c *Cluster)
+}
+
+// Cluster is the simulated platform plus simulation state.
+type Cluster struct {
+	cfg     Config
+	nodes   []*Node
+	apps    []*App
+	foreign []*ForeignTask
+	now     float64
+	trace   *Trace
+
+	totalOOM int
+}
+
+// New creates an idle cluster.
+func New(cfg Config) *Cluster {
+	c := &Cluster{cfg: cfg}
+	c.nodes = make([]*Node, cfg.Nodes)
+	for i := range c.nodes {
+		c.nodes[i] = &Node{ID: i, cfg: cfg}
+	}
+	if cfg.TraceInterval > 0 {
+		c.trace = newTrace(cfg.Nodes, cfg.TraceInterval)
+	}
+	return c
+}
+
+// Config returns the platform configuration.
+func (c *Cluster) Config() Config { return c.cfg }
+
+// Now returns the current simulation time in seconds.
+func (c *Cluster) Now() float64 { return c.now }
+
+// Nodes returns the node list (callers must not mutate it).
+func (c *Cluster) Nodes() []*Node { return c.nodes }
+
+// Apps returns all submitted applications in FCFS order.
+func (c *Cluster) Apps() []*App { return c.apps }
+
+// TotalOOMKills counts executors killed for overflowing RAM+swap.
+func (c *Cluster) TotalOOMKills() int { return c.totalOOM }
+
+// WaitingApps returns the ready-or-running applications that still have
+// unassigned work and spare executor slots, in FCFS order.
+func (c *Cluster) WaitingApps() []*App {
+	var out []*App
+	for _, a := range c.apps {
+		if (a.State == StateReady || a.State == StateRunning) &&
+			a.RemainingGB > 0 && len(a.Executors) < a.MaxExecutors {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// AddForeign pins a foreign co-runner task (e.g. a PARSEC benchmark) to a
+// node before the run starts.
+func (c *Cluster) AddForeign(nodeID int, name string, cpuLoad, memoryGB, workSec float64) (*ForeignTask, error) {
+	if nodeID < 0 || nodeID >= len(c.nodes) {
+		return nil, fmt.Errorf("cluster: node %d out of range", nodeID)
+	}
+	f := &ForeignTask{
+		Name: name, Node: c.nodes[nodeID], CPULoad: cpuLoad,
+		MemoryGB: memoryGB, WorkSec: workSec, remaining: workSec,
+		StartTime: 0, DoneTime: -1,
+	}
+	c.nodes[nodeID].Foreign = append(c.nodes[nodeID].Foreign, f)
+	c.foreign = append(c.foreign, f)
+	return f, nil
+}
+
+// IsolatedTime is the closed-form execution time of a job run alone on the
+// cluster with its full executor fleet and all node memory (the C_is of
+// Equations 1 and 2).
+func (c *Cluster) IsolatedTime(job workload.Job) float64 {
+	k := c.cfg.NodesFor(job.InputGB)
+	return c.cfg.StartupSec + job.InputGB/(float64(k)*job.Bench.ScanRate)
+}
+
+// Spawn validation errors.
+var (
+	ErrAppNotSchedulable = errors.New("cluster: app not in a schedulable state")
+	ErrNoFreeMemory      = errors.New("cluster: insufficient unreserved memory on node")
+	ErrExecutorCap       = errors.New("cluster: app already at its executor cap")
+	ErrAlreadyOnNode     = errors.New("cluster: app already has an executor on node")
+	ErrChunkTooSmall     = errors.New("cluster: data allocation below minimum chunk")
+)
+
+// Spawn places a new executor of app on node with the given memory
+// reservation (heap) and data allocation. The executor's true footprint
+// comes from the workload ground truth for itemsGB; the reservation is what
+// admission control charges against the node.
+func (c *Cluster) Spawn(app *App, node *Node, reserveGB, itemsGB float64) (*Executor, error) {
+	const eps = 1e-9
+	if app.State != StateReady && app.State != StateRunning {
+		return nil, fmt.Errorf("%w: %s is %v", ErrAppNotSchedulable, app.Job, app.State)
+	}
+	if app.RemainingGB <= eps {
+		return nil, fmt.Errorf("%w: no work left", ErrAppNotSchedulable)
+	}
+	if len(app.Executors) >= app.MaxExecutors {
+		return nil, ErrExecutorCap
+	}
+	if app.ExecutorOn(node) {
+		return nil, ErrAlreadyOnNode
+	}
+	if app.BlockedOn(node) && len(node.Executors) > 0 {
+		// After an OOM kill the app avoids the node while it is shared; an
+		// empty node is fine again (the paper re-runs OOM victims in
+		// isolation).
+		return nil, fmt.Errorf("%w: node %d blacklisted after OOM", ErrAppNotSchedulable, node.ID)
+	}
+	if reserveGB > node.FreeGB()+eps {
+		return nil, fmt.Errorf("%w: want %.2f GB, free %.2f GB", ErrNoFreeMemory, reserveGB, node.FreeGB())
+	}
+	if itemsGB+eps < math.Min(c.cfg.MinChunkGB, app.RemainingGB) {
+		return nil, fmt.Errorf("%w: %.3f GB", ErrChunkTooSmall, itemsGB)
+	}
+	if itemsGB > app.RemainingGB {
+		itemsGB = app.RemainingGB
+	}
+	slotsLeft := app.MaxExecutors - len(app.Executors)
+	fair := app.RemainingGB / float64(slotsLeft)
+	need := app.Job.Bench.Footprint(itemsGB)
+	e := &Executor{
+		App: app, Node: node,
+		ReservedGB:  reserveGB,
+		ItemsGB:     itemsGB,
+		NeedGB:      need,
+		ActualGB:    c.resident(need, reserveGB),
+		Demand:      app.Job.Bench.CPULoad,
+		FairShareGB: fair,
+		SpawnTime:   c.now,
+	}
+	node.Executors = append(node.Executors, e)
+	app.Executors = append(app.Executors, e)
+	if app.State == StateReady {
+		app.State = StateRunning
+		app.StartTime = c.now
+		app.startupUntil = c.now + c.cfg.StartupSec
+	}
+	return e, nil
+}
+
+// resident caps an executor's resident memory at its heap plus off-heap
+// overhead; the remainder of the demand spills to disk.
+func (c *Cluster) resident(needGB, reserveGB float64) float64 {
+	cap := reserveGB * (1 + c.cfg.OffHeapFrac)
+	if needGB > cap {
+		return cap
+	}
+	return needGB
+}
+
+// Grow raises an executor's data allocation and memory reservation in place
+// (the paper dynamically adjusts the items given to a co-located executor as
+// stages complete and memory frees up).
+func (c *Cluster) Grow(e *Executor, newReserveGB, newItemsGB float64) error {
+	const eps = 1e-9
+	if newItemsGB+eps < e.ItemsGB {
+		return errors.New("cluster: Grow cannot shrink the allocation")
+	}
+	delta := newReserveGB - e.ReservedGB
+	if delta > e.Node.FreeGB()+eps {
+		return fmt.Errorf("%w: grow needs %.2f GB, free %.2f GB", ErrNoFreeMemory, delta, e.Node.FreeGB())
+	}
+	if newItemsGB > e.App.RemainingGB {
+		newItemsGB = e.App.RemainingGB
+	}
+	e.ReservedGB = newReserveGB
+	e.ItemsGB = newItemsGB
+	e.NeedGB = e.App.Job.Bench.Footprint(newItemsGB)
+	e.ActualGB = c.resident(e.NeedGB, e.ReservedGB)
+	return nil
+}
+
+// removeExecutor detaches e from its node and app.
+func (c *Cluster) removeExecutor(e *Executor) {
+	n := e.Node
+	for i, x := range n.Executors {
+		if x == e {
+			n.Executors = append(n.Executors[:i], n.Executors[i+1:]...)
+			break
+		}
+	}
+	a := e.App
+	for i, x := range a.Executors {
+		if x == e {
+			a.Executors = append(a.Executors[:i], a.Executors[i+1:]...)
+			break
+		}
+	}
+}
+
+// Result summarises one simulation run.
+type Result struct {
+	// Apps in FCFS order with their timestamps filled in.
+	Apps []*App
+	// Foreign tasks (if any) with completion times.
+	Foreign []*ForeignTask
+	// MakespanSec is the time the last app (or foreign task) finished.
+	MakespanSec float64
+	// OOMKills counts executor OOM kills over the whole run.
+	OOMKills int
+	// Trace holds utilization samples when tracing was enabled.
+	Trace *Trace
+}
+
+// maxEvents bounds the event loop against policy bugs.
+const maxEvents = 2_000_000
+
+// Run submits the jobs at time zero (FCFS order) and simulates until every
+// application and foreign task completes.
+func (c *Cluster) Run(jobs []workload.Job, sched Scheduler) (*Result, error) {
+	if len(jobs) == 0 && len(c.foreign) == 0 {
+		return nil, errors.New("cluster: nothing to run")
+	}
+	c.apps = make([]*App, len(jobs))
+	for i, job := range jobs {
+		app := &App{
+			ID: i, Job: job,
+			SubmitTime: 0, ReadyTime: -1, StartTime: -1, DoneTime: -1,
+			RemainingGB:  job.InputGB,
+			MaxExecutors: c.cfg.NodesFor(job.InputGB),
+			State:        StateQueued,
+		}
+		c.apps[i] = app
+	}
+	for _, app := range c.apps {
+		plan := sched.Prepare(c, app)
+		if plan.VolumeGB < 0 || plan.ContributesGB < 0 || plan.ContributesGB > plan.VolumeGB+1e-9 {
+			return nil, fmt.Errorf("cluster: %s returned invalid profiling plan %+v", sched.Name(), plan)
+		}
+		if plan.ContributesGB > app.RemainingGB {
+			plan.ContributesGB = app.RemainingGB
+		}
+		app.ProfileGB = plan.VolumeGB
+		app.ContributeGB = plan.ContributesGB
+		app.profileLeft = plan.VolumeGB
+		if plan.VolumeGB == 0 {
+			app.State = StateReady
+			app.ReadyTime = 0
+		}
+	}
+
+	for ev := 0; ev < maxEvents; ev++ {
+		if c.allDone() {
+			return c.result(), nil
+		}
+		c.admitProfiling()
+		sched.Schedule(c)
+		c.recomputeRates()
+		dt, ok := c.nextEventDt()
+		if !ok {
+			return nil, fmt.Errorf("cluster: simulation stalled at t=%.1fs under %s (no runnable work)", c.now, sched.Name())
+		}
+		c.advance(dt)
+	}
+	return nil, fmt.Errorf("cluster: exceeded %d events under %s", maxEvents, sched.Name())
+}
+
+func (c *Cluster) allDone() bool {
+	for _, a := range c.apps {
+		if a.State != StateDone {
+			return false
+		}
+	}
+	for _, f := range c.foreign {
+		if !f.done {
+			return false
+		}
+	}
+	return true
+}
+
+// admitProfiling moves every queued application onto the coordinating node;
+// profiling runs share the coordinator's capacity processor-style.
+func (c *Cluster) admitProfiling() {
+	for _, a := range c.apps {
+		if a.State == StateQueued {
+			a.State = StateProfiling
+		}
+	}
+}
+
+// profilingShare returns the rate scale applied to each profiling app so the
+// aggregate stays within the coordinator's capacity.
+func (c *Cluster) profilingShare() float64 {
+	var sum float64
+	for _, a := range c.apps {
+		if a.State == StateProfiling {
+			sum += a.Job.Bench.ScanRate
+		}
+	}
+	if sum <= c.cfg.CoordinatorRateGBps || sum == 0 {
+		return 1
+	}
+	return c.cfg.CoordinatorRateGBps / sum
+}
+
+// recomputeRates refreshes all executor/foreign rates, applying CPU
+// contention, interference, paging, cache-efficiency and OOM kills.
+func (c *Cluster) recomputeRates() {
+	for _, n := range c.nodes {
+		c.enforceOOM(n)
+		sumD := n.CPUDemand()
+		usable := c.cfg.UsableGB()
+		overflow := n.ActualGB() - c.cfg.PressureWatermark*usable
+		pageFactor := 1.0
+		if overflow > 0 {
+			pageFactor = 1 / (1 + c.cfg.PagePenalty*overflow/usable)
+		}
+		cpuFactor := 1.0
+		if sumD > 1 {
+			cpuFactor = 1 / sumD
+		}
+		for _, e := range n.Executors {
+			if e.App.startupUntil > c.now {
+				e.rate = 0
+				continue
+			}
+			interference := 1 / (1 + c.cfg.InterferenceAlpha*(sumD-e.Demand))
+			cacheEff := 1.0
+			if e.FairShareGB > c.cfg.MinChunkGB && e.ItemsGB < e.FairShareGB {
+				cacheEff = math.Pow(e.ItemsGB/e.FairShareGB, c.cfg.CacheGamma)
+				if cacheEff < c.cfg.CacheFloor {
+					cacheEff = c.cfg.CacheFloor
+				}
+			}
+			heapFactor := 1.0
+			if e.ReservedGB > 0 && e.NeedGB > e.ReservedGB {
+				shortfall := (e.NeedGB - e.ReservedGB) / e.ReservedGB
+				heapFactor = 1 / (1 + c.cfg.HeapPenalty*shortfall*shortfall)
+				if heapFactor < c.cfg.HeapFloor {
+					heapFactor = c.cfg.HeapFloor
+				}
+			}
+			e.rate = e.App.Job.Bench.ScanRate * cpuFactor * interference * pageFactor * cacheEff * heapFactor
+		}
+		for _, f := range n.Foreign {
+			if f.done {
+				continue
+			}
+			interference := 1 / (1 + c.cfg.InterferenceAlpha*(sumD-f.CPULoad))
+			f.rate = cpuFactor * interference * pageFactor
+		}
+	}
+}
+
+// enforceOOM kills the newest executors on a node until actual memory fits
+// within RAM+swap, mirroring the paper's re-run-on-OOM policy (the lost
+// executor's data stays in the app's remaining pool).
+func (c *Cluster) enforceOOM(n *Node) {
+	limit := c.cfg.UsableGB() + c.cfg.SwapGB
+	for n.ActualGB() > limit && len(n.Executors) > 0 {
+		victim := n.Executors[len(n.Executors)-1]
+		app := victim.App
+		app.OOMKills++
+		c.totalOOM++
+		c.removeExecutor(victim)
+		app.blockNode(n)
+		// The killed executor's partially-processed partitions must be
+		// recomputed when the app is re-run (the paper re-runs OOM-failed
+		// executors in isolation): charge half its allocation back.
+		app.RemainingGB += c.cfg.OOMReprocessFrac * victim.ItemsGB
+		if app.RemainingGB > app.Job.InputGB {
+			app.RemainingGB = app.Job.InputGB
+		}
+		if len(app.Executors) == 0 && app.State == StateRunning {
+			// The app goes back to waiting for executors.
+			app.State = StateReady
+		}
+	}
+}
+
+// appRate sums the executor rates of an app.
+func appRate(a *App) float64 {
+	var s float64
+	for _, e := range a.Executors {
+		s += e.rate
+	}
+	return s
+}
+
+// nextEventDt finds the time to the next state-changing event.
+func (c *Cluster) nextEventDt() (float64, bool) {
+	const tiny = 1e-9
+	best := math.Inf(1)
+	share := c.profilingShare()
+	for _, a := range c.apps {
+		switch a.State {
+		case StateProfiling:
+			rate := a.Job.Bench.ScanRate * c.cfg.ProfilingRateFactor * share
+			if rate > 0 && a.profileLeft > 0 {
+				if dt := a.profileLeft / rate; dt < best {
+					best = dt
+				}
+			}
+		case StateRunning:
+			if a.startupUntil > c.now {
+				if dt := a.startupUntil - c.now; dt < best {
+					best = dt
+				}
+			} else if r := appRate(a); r > tiny {
+				if dt := a.RemainingGB / r; dt < best {
+					best = dt
+				}
+			}
+		}
+	}
+	for _, f := range c.foreign {
+		if !f.done && f.rate > tiny {
+			if dt := f.remaining / f.rate; dt < best {
+				best = dt
+			}
+		}
+	}
+	if c.trace != nil {
+		if dt := c.trace.nextSampleTime(c.now) - c.now; dt < best {
+			best = dt
+		}
+	}
+	if math.IsInf(best, 1) {
+		return 0, false
+	}
+	if best < tiny {
+		best = tiny
+	}
+	return best, true
+}
+
+// advance integrates progress over dt and fires completions.
+func (c *Cluster) advance(dt float64) {
+	const eps = 1e-6
+	c.now += dt
+	share := c.profilingShare()
+	for _, a := range c.apps {
+		switch a.State {
+		case StateProfiling:
+			a.profileLeft -= a.Job.Bench.ScanRate * c.cfg.ProfilingRateFactor * share * dt
+			if a.profileLeft <= eps {
+				a.profileLeft = 0
+				// The contributed part of the profiled data counts towards
+				// the final output.
+				a.RemainingGB -= a.ContributeGB
+				if a.RemainingGB <= eps {
+					a.RemainingGB = 0
+					a.State = StateDone
+					a.ReadyTime = c.now
+					a.DoneTime = c.now
+				} else {
+					a.State = StateReady
+					a.ReadyTime = c.now
+				}
+			}
+		case StateRunning:
+			a.RemainingGB -= appRate(a) * dt
+			if a.RemainingGB <= eps {
+				a.RemainingGB = 0
+				for len(a.Executors) > 0 {
+					c.removeExecutor(a.Executors[0])
+				}
+				a.State = StateDone
+				a.DoneTime = c.now
+			}
+		}
+	}
+	for _, f := range c.foreign {
+		if f.done {
+			continue
+		}
+		f.remaining -= f.rate * dt
+		if f.remaining <= eps {
+			f.remaining = 0
+			f.done = true
+			f.DoneTime = c.now
+		}
+	}
+	if c.trace != nil {
+		c.trace.maybeSample(c.now, c.nodes)
+	}
+}
+
+func (c *Cluster) result() *Result {
+	makespan := 0.0
+	for _, a := range c.apps {
+		if a.DoneTime > makespan {
+			makespan = a.DoneTime
+		}
+	}
+	for _, f := range c.foreign {
+		if f.DoneTime > makespan {
+			makespan = f.DoneTime
+		}
+	}
+	return &Result{
+		Apps:        c.apps,
+		Foreign:     c.foreign,
+		MakespanSec: makespan,
+		OOMKills:    c.totalOOM,
+		Trace:       c.trace,
+	}
+}

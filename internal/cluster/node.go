@@ -1,0 +1,103 @@
+package cluster
+
+// Node is one computing node.
+type Node struct {
+	ID int
+
+	// Executors placed on this node, in spawn order.
+	Executors []*Executor
+	// Foreign tasks (e.g. PARSEC co-runners) pinned to this node.
+	Foreign []*ForeignTask
+
+	cfg Config
+}
+
+// ReservedGB sums admission-time memory reservations (plus foreign working
+// sets).
+func (n *Node) ReservedGB() float64 {
+	var s float64
+	for _, e := range n.Executors {
+		s += e.ReservedGB
+	}
+	for _, f := range n.Foreign {
+		s += f.MemoryGB
+	}
+	return s
+}
+
+// ActualGB sums true memory use.
+func (n *Node) ActualGB() float64 {
+	var s float64
+	for _, e := range n.Executors {
+		s += e.ActualGB
+	}
+	for _, f := range n.Foreign {
+		s += f.MemoryGB
+	}
+	return s
+}
+
+// FreeGB is the unreserved allocatable memory left on the node.
+func (n *Node) FreeGB() float64 {
+	free := n.cfg.AllocatableGB() - n.ReservedGB()
+	if free < 0 {
+		return 0
+	}
+	return free
+}
+
+// CPUDemand sums the CPU demands of everything on the node.
+func (n *Node) CPUDemand() float64 {
+	var s float64
+	for _, e := range n.Executors {
+		s += e.Demand
+	}
+	for _, f := range n.Foreign {
+		if !f.done {
+			s += f.CPULoad
+		}
+	}
+	return s
+}
+
+// Utilization is the node's CPU utilization in [0,1].
+func (n *Node) Utilization() float64 {
+	u := n.CPUDemand()
+	if u > 1 {
+		return 1
+	}
+	return u
+}
+
+// AppCount returns the number of distinct applications with an executor on
+// this node.
+func (n *Node) AppCount() int {
+	seen := map[int]bool{}
+	for _, e := range n.Executors {
+		seen[e.App.ID] = true
+	}
+	return len(seen)
+}
+
+// ForeignTask is a non-Spark co-runner (the PARSEC programs of Figure 15):
+// a CPU-bound job with a fixed working set, measured in seconds of isolated
+// runtime.
+type ForeignTask struct {
+	Name     string
+	Node     *Node
+	CPULoad  float64
+	MemoryGB float64
+	// WorkSec is the isolated runtime; progress accrues at the contended
+	// rate.
+	WorkSec float64
+
+	remaining float64
+	rate      float64
+	done      bool
+	// StartTime and DoneTime are simulation timestamps.
+	StartTime float64
+	DoneTime  float64
+}
+
+// Done reports completion.
+func (f *ForeignTask) Done() bool { return f.done }

@@ -1,0 +1,222 @@
+package cluster
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"moespark/internal/workload"
+)
+
+// greedyScheduler is a simple est-free policy for property tests: first-fit
+// with bounded reservations.
+type greedyScheduler struct{}
+
+func (greedyScheduler) Name() string                       { return "test-greedy" }
+func (greedyScheduler) Prepare(*Cluster, *App) ProfilePlan { return ProfilePlan{} }
+func (greedyScheduler) Schedule(c *Cluster) {
+	for _, app := range c.WaitingApps() {
+		for _, n := range c.Nodes() {
+			if len(app.Executors) >= app.MaxExecutors {
+				break
+			}
+			if app.ExecutorOn(n) || app.BlockedOn(n) {
+				continue
+			}
+			free := n.FreeGB()
+			if free < 5 {
+				continue
+			}
+			share := app.RemainingGB / float64(app.MaxExecutors-len(app.Executors))
+			reserve := free / 2
+			if reserve > 30 {
+				reserve = 30
+			}
+			_, _ = c.Spawn(app, n, reserve, share)
+		}
+	}
+}
+
+// randomJobs draws a random mix of 1..10 jobs.
+func randomJobs(r *rand.Rand) []workload.Job {
+	cat := workload.Catalog()
+	n := 1 + r.Intn(10)
+	jobs := make([]workload.Job, 0, n)
+	for i := 0; i < n; i++ {
+		jobs = append(jobs, workload.Job{
+			Bench:   cat[r.Intn(len(cat))],
+			InputGB: []float64{0.3, 10, 30, 120}[r.Intn(4)],
+		})
+	}
+	return jobs
+}
+
+// Property: every run completes all applications, timestamps are ordered
+// (submit <= ready <= start <= done where defined), and turnarounds are at
+// least the isolated time divided by available parallelism headroom.
+func TestRunInvariantsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		jobs := randomJobs(r)
+		c := New(DefaultConfig())
+		res, err := c.Run(jobs, greedyScheduler{})
+		if err != nil {
+			return false
+		}
+		for _, a := range res.Apps {
+			if a.State != StateDone {
+				return false
+			}
+			if a.DoneTime < 0 || a.DoneTime > res.MakespanSec+1e-6 {
+				return false
+			}
+			if a.ReadyTime >= 0 && a.ReadyTime < a.SubmitTime {
+				return false
+			}
+			if a.StartTime >= 0 && a.ReadyTime >= 0 && a.StartTime+1e-9 < a.ReadyTime {
+				return false
+			}
+			if a.DoneTime < a.StartTime {
+				return false
+			}
+			// Executors are all released at completion.
+			if len(a.Executors) != 0 {
+				return false
+			}
+			// No app can beat the startup latency.
+			if a.Turnaround() < c.Config().StartupSec-1e-6 {
+				return false
+			}
+		}
+		// Nodes end empty.
+		for _, n := range c.Nodes() {
+			if len(n.Executors) != 0 || n.ReservedGB() != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 40, Rand: rand.New(rand.NewSource(71))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: reservations never exceed the advertised allocatable memory on
+// any node at any scheduling point.
+type reservationProbe struct {
+	inner  Scheduler
+	failed bool
+}
+
+func (p *reservationProbe) Name() string { return p.inner.Name() }
+func (p *reservationProbe) Prepare(c *Cluster, a *App) ProfilePlan {
+	return p.inner.Prepare(c, a)
+}
+func (p *reservationProbe) Schedule(c *Cluster) {
+	p.inner.Schedule(c)
+	limit := c.Config().AllocatableGB() + 1e-6
+	for _, n := range c.Nodes() {
+		if n.ReservedGB() > limit {
+			p.failed = true
+		}
+	}
+}
+
+func TestReservationsBoundedProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		jobs := randomJobs(r)
+		c := New(DefaultConfig())
+		probe := &reservationProbe{inner: greedyScheduler{}}
+		if _, err := c.Run(jobs, probe); err != nil {
+			return false
+		}
+		return !probe.failed
+	}
+	cfg := &quick.Config{MaxCount: 30, Rand: rand.New(rand.NewSource(72))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: with fleet sizes pinned (one executor per app), doubling every
+// input never makes the mix finish sooner. (With dynamic fleets the property
+// is false: a larger input earns a larger fleet and can finish earlier.)
+func TestMakespanMonotoneInWorkProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		jobs := randomJobs(r)
+		run := func(scale float64) float64 {
+			scaled := make([]workload.Job, len(jobs))
+			for i, j := range jobs {
+				scaled[i] = workload.Job{Bench: j.Bench, InputGB: j.InputGB * scale}
+			}
+			cfg := DefaultConfig()
+			cfg.ExecutorSpreadGB = 1e9 // one executor per app at any size
+			c := New(cfg)
+			res, err := c.Run(scaled, greedyScheduler{})
+			if err != nil {
+				return -1
+			}
+			return res.MakespanSec
+		}
+		base := run(1)
+		double := run(2)
+		if base < 0 || double < 0 {
+			return false
+		}
+		return double+1e-6 >= base
+	}
+	cfg := &quick.Config{MaxCount: 20, Rand: rand.New(rand.NewSource(73))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGrowValidation(t *testing.T) {
+	c := New(DefaultConfig())
+	b, err := workload.Find("SP.Pca")
+	if err != nil {
+		t.Fatal(err)
+	}
+	app := &App{
+		ID: 0, Job: workload.Job{Bench: b, InputGB: 100},
+		RemainingGB: 100, MaxExecutors: 2, State: StateReady,
+		ReadyTime: 0, StartTime: -1, DoneTime: -1,
+	}
+	n := c.Nodes()[0]
+	e, err := c.Spawn(app, n, 10, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shrinking is rejected.
+	if err := c.Grow(e, 12, 10); err == nil {
+		t.Error("Grow must not shrink the allocation")
+	}
+	// Growing beyond free memory is rejected.
+	if err := c.Grow(e, c.Config().AllocatableGB()+20, 80); err == nil {
+		t.Error("Grow must respect free memory")
+	}
+	// Valid growth updates reservation, items, and footprints.
+	oldNeed := e.NeedGB
+	if err := c.Grow(e, 25, 40); err != nil {
+		t.Fatalf("Grow: %v", err)
+	}
+	if e.ReservedGB != 25 || e.ItemsGB != 40 {
+		t.Errorf("grow result: reserve=%v items=%v", e.ReservedGB, e.ItemsGB)
+	}
+	if e.NeedGB <= oldNeed {
+		t.Errorf("need did not grow: %v -> %v", oldNeed, e.NeedGB)
+	}
+	if e.ActualGB > e.ReservedGB*(1+c.Config().OffHeapFrac)+1e-9 {
+		t.Errorf("resident %v exceeds heap cap", e.ActualGB)
+	}
+	// Items clamp at remaining work.
+	if err := c.Grow(e, 30, 500); err != nil {
+		t.Fatalf("Grow: %v", err)
+	}
+	if e.ItemsGB > app.RemainingGB {
+		t.Errorf("items %v exceed remaining %v", e.ItemsGB, app.RemainingGB)
+	}
+}

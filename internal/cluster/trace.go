@@ -1,0 +1,123 @@
+package cluster
+
+// Trace records periodic per-node utilization samples, the data behind the
+// paper's Figure 7 heatmaps.
+type Trace struct {
+	// Interval between samples in seconds.
+	Interval float64
+	// Times holds the sample timestamps.
+	Times []float64
+	// CPU[i][n] is node n's CPU utilization (0..1) at sample i.
+	CPU [][]float64
+	// MemGB[i][n] is node n's actual memory use at sample i.
+	MemGB [][]float64
+
+	nodes      int
+	nextSample float64
+}
+
+func newTrace(nodes int, interval float64) *Trace {
+	return &Trace{Interval: interval, nodes: nodes}
+}
+
+func (t *Trace) nextSampleTime(now float64) float64 {
+	if t.nextSample < now {
+		t.nextSample = now
+	}
+	return t.nextSample
+}
+
+func (t *Trace) maybeSample(now float64, nodes []*Node) {
+	const slack = 1e-6
+	for now+slack >= t.nextSample {
+		cpu := make([]float64, len(nodes))
+		mem := make([]float64, len(nodes))
+		for i, n := range nodes {
+			cpu[i] = n.Utilization()
+			mem[i] = n.ActualGB()
+		}
+		t.Times = append(t.Times, t.nextSample)
+		t.CPU = append(t.CPU, cpu)
+		t.MemGB = append(t.MemGB, mem)
+		t.nextSample += t.Interval
+	}
+}
+
+// MeanUtilization returns the time-averaged CPU utilization across nodes and
+// samples.
+func (t *Trace) MeanUtilization() float64 {
+	if len(t.CPU) == 0 {
+		return 0
+	}
+	var sum float64
+	var n int
+	for _, row := range t.CPU {
+		for _, u := range row {
+			sum += u
+			n++
+		}
+	}
+	return sum / float64(n)
+}
+
+// ResourceMonitor is the paper's per-node daemon view: it reports memory and
+// CPU readings averaged over a reporting window (the paper uses 5 minutes).
+// The scheduler consults it rather than poking nodes directly. With a zero
+// window it reports instantaneous values.
+type ResourceMonitor struct {
+	c      *Cluster
+	window float64
+
+	// exponential-moving-average state per node
+	emaCPU []float64
+	emaMem []float64
+	last   float64
+	seeded bool
+}
+
+// NewResourceMonitor attaches a monitor with the given averaging window (in
+// seconds) to the cluster.
+func NewResourceMonitor(c *Cluster, windowSec float64) *ResourceMonitor {
+	return &ResourceMonitor{
+		c:      c,
+		window: windowSec,
+		emaCPU: make([]float64, len(c.nodes)),
+		emaMem: make([]float64, len(c.nodes)),
+	}
+}
+
+// Observe folds the current node state into the windowed averages; the
+// engine-driving code calls it on scheduling events.
+func (m *ResourceMonitor) Observe() {
+	now := m.c.Now()
+	alpha := 1.0
+	if m.seeded && m.window > 0 {
+		dt := now - m.last
+		if dt < 0 {
+			dt = 0
+		}
+		alpha = dt / m.window
+		if alpha > 1 {
+			alpha = 1
+		}
+	}
+	for i, n := range m.c.nodes {
+		cpu := n.CPUDemand()
+		mem := n.ActualGB()
+		if !m.seeded {
+			m.emaCPU[i] = cpu
+			m.emaMem[i] = mem
+		} else {
+			m.emaCPU[i] += alpha * (cpu - m.emaCPU[i])
+			m.emaMem[i] += alpha * (mem - m.emaMem[i])
+		}
+	}
+	m.seeded = true
+	m.last = now
+}
+
+// CPULoad returns the windowed CPU load of a node.
+func (m *ResourceMonitor) CPULoad(nodeID int) float64 { return m.emaCPU[nodeID] }
+
+// MemoryGB returns the windowed actual memory use of a node.
+func (m *ResourceMonitor) MemoryGB(nodeID int) float64 { return m.emaMem[nodeID] }

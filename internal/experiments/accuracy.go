@@ -1,0 +1,246 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"moespark/internal/classify"
+	"moespark/internal/mathx"
+	"moespark/internal/memfunc"
+	"moespark/internal/workload"
+)
+
+// looExclusions returns the exclusion set for testing one benchmark under
+// the paper's protocol: the benchmark itself plus equivalent implementations
+// in other suites.
+func looExclusions(b *workload.Benchmark) map[string]bool {
+	ex := map[string]bool{b.FullName(): true}
+	for _, n := range workload.EquivalentNames(b) {
+		ex[n] = true
+	}
+	return ex
+}
+
+// Fig17Result reproduces Figure 17: predicted vs measured memory footprints
+// for the 16 HiBench/BigDataBench benchmarks with ~280GB inputs, under
+// leave-one-out cross-validation.
+type Fig17Result struct {
+	Rows []Fig17Row
+	// MeanAbsErrPct is the average |error| (paper: ~5%).
+	MeanAbsErrPct float64
+}
+
+// Fig17Row is one benchmark's prediction.
+type Fig17Row struct {
+	Name        string
+	PredictedGB float64
+	MeasuredGB  float64
+	ErrPct      float64 // signed: positive = over-provision
+}
+
+// Fig17 runs the LOOCV prediction study. The footprint is evaluated at the
+// per-executor data allocation a 280GB input implies.
+func Fig17(ctx Context) (Fig17Result, error) {
+	ctx = ctx.withDefaults()
+	var out Fig17Result
+	var absSum float64
+	for i, b := range workload.TrainingSet() {
+		model, rng, err := trainedMoE(ctx, looExclusions(b), 171+int64(i))
+		if err != nil {
+			return Fig17Result{}, err
+		}
+		s1, s2 := 1.0, 4.0
+		pred, err := model.Predict(b.Counters(rng), b.ProfilePoint(s1, rng), b.ProfilePoint(s2, rng))
+		if err != nil {
+			return Fig17Result{}, fmt.Errorf("experiments: fig17 %s: %w", b.FullName(), err)
+		}
+		// Per-executor allocation for a 280GB input.
+		x := 280.0 / float64(ctx.Cfg.NodesFor(280))
+		got, err := pred.Func.Eval(x)
+		if err != nil {
+			return Fig17Result{}, err
+		}
+		truth := b.Footprint(x)
+		errPct := (got - truth) / truth * 100
+		absSum += math.Abs(errPct)
+		out.Rows = append(out.Rows, Fig17Row{
+			Name: b.FullName(), PredictedGB: got, MeasuredGB: truth, ErrPct: errPct,
+		})
+	}
+	out.MeanAbsErrPct = absSum / float64(len(out.Rows))
+	return out, nil
+}
+
+// Table renders Figure 17.
+func (r Fig17Result) Table() Table {
+	t := Table{
+		Title:   "Figure 17: predicted vs measured memory footprints (~280GB, LOOCV)",
+		Header:  []string{"benchmark", "predicted (GB)", "measured (GB)", "error"},
+		Caption: fmt.Sprintf("Mean |error| %.1f%% (paper: ~5%%, worst ~12%%).", r.MeanAbsErrPct),
+	}
+	for _, row := range r.Rows {
+		t.Rows = append(t.Rows, []string{row.Name, f1(row.PredictedGB), f1(row.MeasuredGB), pct(row.ErrPct)})
+	}
+	return t
+}
+
+// Table5Result reproduces Table 5: expert-selection accuracy for the
+// alternative classifiers, evaluated with leave-one-out cross-validation
+// over the training programs of all 44 benchmarks' feature observations.
+type Table5Result struct {
+	Rows []Table5Row
+}
+
+// Table5Row is one classifier's accuracy.
+type Table5Row struct {
+	Classifier  string
+	AccuracyPct float64
+}
+
+// Table5 builds the labelled dataset (PCA-projected features -> true memory
+// family) over the whole catalogue and scores every classifier with LOOCV.
+func Table5(ctx Context) (Table5Result, error) {
+	ctx = ctx.withDefaults()
+	model, rng, err := trainedMoE(ctx, nil, 181)
+	if err != nil {
+		return Table5Result{}, err
+	}
+	pipeline := model.Pipeline()
+	var samples []classify.Sample
+	for _, b := range workload.Catalog() {
+		// Two independent observations per benchmark to give the folds
+		// within-program variance, as repeated profiling runs would.
+		for k := 0; k < 2; k++ {
+			pcs, err := pipeline.Transform(b.Counters(rng))
+			if err != nil {
+				return Table5Result{}, err
+			}
+			samples = append(samples, classify.Sample{X: pcs, Label: int(b.Truth.Family)})
+		}
+	}
+	reg := classify.Registry(ctx.Seed + 182)
+	var out Table5Result
+	for _, name := range classify.RegistryNames() {
+		factory := reg[name]
+		acc, err := classify.LeaveOneOutAccuracy(factory, samples)
+		if err != nil {
+			return Table5Result{}, fmt.Errorf("experiments: table5 %s: %w", name, err)
+		}
+		out.Rows = append(out.Rows, Table5Row{Classifier: name, AccuracyPct: acc * 100})
+	}
+	return out, nil
+}
+
+// Table renders Table 5.
+func (r Table5Result) Table() Table {
+	t := Table{
+		Title:   "Table 5: expert-selection accuracy per classifier (LOOCV)",
+		Header:  []string{"classifier", "accuracy"},
+		Caption: "Paper: NB 92.5, MLP 94.1, SVM 95.4, RF 95.5, DT 96.8, ANN 96.9, KNN 97.4 (%); KNN chosen because adding an expert needs no retraining.",
+	}
+	for _, row := range r.Rows {
+		t.Rows = append(t.Rows, []string{row.Classifier, pct(row.AccuracyPct)})
+	}
+	return t
+}
+
+// Fig18Result reproduces Figure 18: predicted vs measured memory curves for
+// the 16 training benchmarks across the input sweep, under LOOCV.
+type Fig18Result struct {
+	Curves []Fig18Curve
+	// MeanAbsErrPct across all benchmarks and sweep points.
+	MeanAbsErrPct float64
+}
+
+// Fig18Curve is one benchmark's predicted/measured series.
+type Fig18Curve struct {
+	Name      string
+	Family    memfunc.Family
+	InputGB   []float64
+	Measured  []float64
+	Predicted []float64
+	// R2 of predicted vs measured over the sweep.
+	R2 float64
+}
+
+// Fig18 predicts each training benchmark's curve with a LOOCV model and
+// two-point calibration, then sweeps it.
+func Fig18(ctx Context) (Fig18Result, error) {
+	ctx = ctx.withDefaults()
+	grid := []float64{0.3, 3, 30, 100, 280}
+	var out Fig18Result
+	var absSum float64
+	var n int
+	for i, b := range workload.TrainingSet() {
+		model, rng, err := trainedMoE(ctx, looExclusions(b), 191+int64(i))
+		if err != nil {
+			return Fig18Result{}, err
+		}
+		pred, err := model.Predict(b.Counters(rng), b.ProfilePoint(1, rng), b.ProfilePoint(4, rng))
+		if err != nil {
+			return Fig18Result{}, fmt.Errorf("experiments: fig18 %s: %w", b.FullName(), err)
+		}
+		curve := Fig18Curve{Name: b.FullName(), Family: pred.Func.Family}
+		var meas, predv []float64
+		for _, x := range grid {
+			truth := b.Footprint(x)
+			if truth <= 0 {
+				continue
+			}
+			got, err := pred.Func.Eval(x)
+			if err != nil {
+				continue
+			}
+			curve.InputGB = append(curve.InputGB, x)
+			curve.Measured = append(curve.Measured, truth)
+			curve.Predicted = append(curve.Predicted, got)
+			meas = append(meas, truth)
+			predv = append(predv, got)
+			absSum += math.Abs(got-truth) / truth * 100
+			n++
+		}
+		curve.R2 = r2Of(meas, predv)
+		out.Curves = append(out.Curves, curve)
+	}
+	if n > 0 {
+		out.MeanAbsErrPct = absSum / float64(n)
+	}
+	return out, nil
+}
+
+func r2Of(measured, predicted []float64) float64 {
+	if len(measured) < 2 {
+		return 0
+	}
+	mean := mathx.Mean(measured)
+	var ssRes, ssTot float64
+	for i := range measured {
+		d := measured[i] - predicted[i]
+		ssRes += d * d
+		t := measured[i] - mean
+		ssTot += t * t
+	}
+	if ssTot == 0 {
+		return 0
+	}
+	return 1 - ssRes/ssTot
+}
+
+// Table renders Figure 18.
+func (r Fig18Result) Table() Table {
+	t := Table{
+		Title:   "Figure 18: predicted vs measured memory curves (LOOCV, 2-point calibration)",
+		Header:  []string{"benchmark", "family", "input(GB)", "measured", "predicted"},
+		Caption: fmt.Sprintf("Mean |error| across curves: %.1f%%.", r.MeanAbsErrPct),
+	}
+	for _, c := range r.Curves {
+		for i := range c.InputGB {
+			fam := ""
+			if i == 0 {
+				fam = c.Family.String()
+			}
+			t.Rows = append(t.Rows, []string{c.Name, fam, f1(c.InputGB[i]), f2(c.Measured[i]), f2(c.Predicted[i])})
+		}
+	}
+	return t
+}

@@ -1,0 +1,92 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Section 6). Each experiment is a function of a Context
+// (seed, mix count, platform config) returning a typed result that renders
+// the same rows/series the paper reports. The cmd/reproduce binary runs them
+// all; bench_test.go exposes one benchmark per table/figure.
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"moespark/internal/cluster"
+)
+
+// Context carries the shared experiment parameters.
+type Context struct {
+	// Seed drives all randomness (mix draws, profiling noise, model
+	// training); a fixed seed reproduces results bit-for-bit.
+	Seed int64
+	// MixesPerScenario is how many application mixes are drawn per runtime
+	// scenario (the paper uses ~100; smaller values keep runs quick).
+	MixesPerScenario int
+	// Cfg is the simulated platform.
+	Cfg cluster.Config
+}
+
+// DefaultContext returns the paper's setup with a moderate mix count.
+func DefaultContext() Context {
+	return Context{Seed: 1, MixesPerScenario: 20, Cfg: cluster.DefaultConfig()}
+}
+
+func (c Context) withDefaults() Context {
+	if c.MixesPerScenario <= 0 {
+		c.MixesPerScenario = 20
+	}
+	if c.Cfg.Nodes == 0 {
+		c.Cfg = cluster.DefaultConfig()
+	}
+	return c
+}
+
+func (c Context) rng(offset int64) *rand.Rand {
+	return rand.New(rand.NewSource(c.Seed*7919 + offset))
+}
+
+// Table is a printable experiment result.
+type Table struct {
+	Title   string
+	Header  []string
+	Rows    [][]string
+	Caption string
+}
+
+// String renders the table with aligned columns.
+func (t Table) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "== %s ==\n", t.Title)
+	if t.Caption != "" {
+		fmt.Fprintf(&sb, "%s\n", t.Caption)
+	}
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], cell)
+		}
+		sb.WriteByte('\n')
+	}
+	line(t.Header)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	return sb.String()
+}
+
+func f1(v float64) string  { return fmt.Sprintf("%.1f", v) }
+func f2(v float64) string  { return fmt.Sprintf("%.2f", v) }
+func f3(v float64) string  { return fmt.Sprintf("%.3f", v) }
+func pct(v float64) string { return fmt.Sprintf("%.1f%%", v) }

@@ -1,0 +1,372 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"moespark/internal/memfunc"
+	"moespark/internal/workload"
+)
+
+// quickCtx keeps experiment tests fast.
+func quickCtx() Context {
+	ctx := DefaultContext()
+	ctx.MixesPerScenario = 2
+	return ctx
+}
+
+func TestFig3CurvesMatchPaperFamilies(t *testing.T) {
+	r, err := Fig3(quickCtx())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Benchmarks) != 2 {
+		t.Fatalf("got %d curves, want 2", len(r.Benchmarks))
+	}
+	if r.Benchmarks[0].Fitted.Family != memfunc.Exponential {
+		t.Errorf("Sort fitted as %v, want exponential", r.Benchmarks[0].Fitted.Family)
+	}
+	if r.Benchmarks[1].Fitted.Family != memfunc.NapierianLog {
+		t.Errorf("PageRank fitted as %v, want napierian log", r.Benchmarks[1].Fitted.Family)
+	}
+	for _, c := range r.Benchmarks {
+		if c.R2 < 0.99 {
+			t.Errorf("%s fit R2 = %v", c.Name, c.R2)
+		}
+		for i := range c.InputGB {
+			rel := (c.Predicted[i] - c.Observed[i]) / c.Observed[i]
+			if rel > 0.2 || rel < -0.2 {
+				t.Errorf("%s at %vGB: predicted %v vs observed %v", c.Name, c.InputGB[i], c.Predicted[i], c.Observed[i])
+			}
+		}
+	}
+	if !strings.Contains(r.Table().String(), "Figure 3") {
+		t.Error("table rendering broken")
+	}
+}
+
+func TestFig4VarianceConcentratesInTopPCs(t *testing.T) {
+	r, err := Fig4(quickCtx())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.KeptComponents < 1 || r.KeptComponents > 5 {
+		t.Errorf("kept %d PCs, want 1..5", r.KeptComponents)
+	}
+	var top5 float64
+	for i := 0; i < 5 && i < len(r.ExplainedPct); i++ {
+		top5 += r.ExplainedPct[i]
+	}
+	if top5 < 80 {
+		t.Errorf("top-5 PCs explain %.1f%%, want >= 80%% (paper: 95%%)", top5)
+	}
+	if len(r.Importances) == 0 {
+		t.Fatal("no importances")
+	}
+	// The top features should be among the cache/memory counters the paper
+	// identifies (L1_TCM, L1_DCM, vcache, L1_STM, bo, cs and friends).
+	driven := map[string]bool{
+		"L1_TCM": true, "L1_DCM": true, "vcache": true, "L1_STM": true,
+		"bo": true, "L2_TCM": true, "L3_TCM": true, "cs": true,
+	}
+	hits := 0
+	for i := 0; i < 5; i++ {
+		if driven[r.Importances[i].Name] {
+			hits++
+		}
+	}
+	if hits < 3 {
+		t.Errorf("top-5 features %v, want cache features dominant", r.Importances[:5])
+	}
+}
+
+func TestFig13Histogram(t *testing.T) {
+	r := Fig13(quickCtx())
+	total := 0
+	over60 := 0
+	under40 := 0
+	for i, c := range r.BucketCounts {
+		total += c
+		if i >= 6 {
+			over60 += c
+		}
+		if i < 4 {
+			under40 += c
+		}
+	}
+	if total != 44 {
+		t.Fatalf("histogram covers %d benchmarks, want 44", total)
+	}
+	if over60 != 0 {
+		t.Errorf("%d benchmarks above 60%% CPU, paper has none", over60)
+	}
+	if under40 < 30 {
+		t.Errorf("only %d benchmarks under 40%%, paper has most there", under40)
+	}
+}
+
+func TestFig16ClustersAreTight(t *testing.T) {
+	r, err := Fig16(quickCtx())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Points) != 44 {
+		t.Fatalf("projected %d points, want 44", len(r.Points))
+	}
+	if r.SeparationRatio < 3 {
+		t.Errorf("cluster separation ratio %.2f, want >= 3 (visually distinct clusters)", r.SeparationRatio)
+	}
+	if r.PearsonOneFrac < 0.75 {
+		t.Errorf("only %.0f%%%% of programs correlate ~1 with their cluster centre", r.PearsonOneFrac*100)
+	}
+	// Cluster centroids must be separated: mean PC1 per family ordered.
+	sums := map[memfunc.Family][]float64{}
+	for _, p := range r.Points {
+		sums[p.Family] = append(sums[p.Family], p.PC1)
+	}
+	if len(sums) != 3 {
+		t.Fatalf("expected 3 families, got %d", len(sums))
+	}
+}
+
+func TestFig17PredictionAccuracy(t *testing.T) {
+	r, err := Fig17(quickCtx())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 16 {
+		t.Fatalf("%d rows, want 16", len(r.Rows))
+	}
+	if r.MeanAbsErrPct > 10 {
+		t.Errorf("mean |error| %.1f%%, want <= 10%% (paper: ~5%%)", r.MeanAbsErrPct)
+	}
+	for _, row := range r.Rows {
+		if row.ErrPct > 35 || row.ErrPct < -35 {
+			t.Errorf("%s error %.1f%% out of range", row.Name, row.ErrPct)
+		}
+	}
+}
+
+func TestTable5AllClassifiersAccurate(t *testing.T) {
+	r, err := Table5(quickCtx())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 7 {
+		t.Fatalf("%d classifiers, want 7", len(r.Rows))
+	}
+	var knn float64
+	var best float64
+	for _, row := range r.Rows {
+		if row.AccuracyPct < 85 {
+			t.Errorf("%s accuracy %.1f%%, want >= 85%% (paper: >= 92.5%%)", row.Classifier, row.AccuracyPct)
+		}
+		if row.Classifier == "KNN" {
+			knn = row.AccuracyPct
+		}
+		if row.AccuracyPct > best {
+			best = row.AccuracyPct
+		}
+	}
+	if knn < best-8 {
+		t.Errorf("KNN accuracy %.1f%% should be comparable to the best (%.1f%%)", knn, best)
+	}
+}
+
+func TestFig18CurveErrors(t *testing.T) {
+	r, err := Fig18(quickCtx())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Curves) != 16 {
+		t.Fatalf("%d curves, want 16", len(r.Curves))
+	}
+	if r.MeanAbsErrPct > 12 {
+		t.Errorf("mean curve error %.1f%%, want small", r.MeanAbsErrPct)
+	}
+	for _, c := range r.Curves {
+		if len(c.InputGB) < 3 {
+			t.Errorf("%s has only %d sweep points", c.Name, len(c.InputGB))
+		}
+	}
+}
+
+func TestFig6ShapeMatchesPaper(t *testing.T) {
+	ctx := quickCtx()
+	ctx.MixesPerScenario = 3
+	r, err := Fig6(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Scenarios) != 10 {
+		t.Fatalf("%d scenarios, want 10", len(r.Scenarios))
+	}
+	geo := r.Geomean
+	moe := geo["MoE"].NormalizedSTP
+	oracle := geo["Oracle"].NormalizedSTP
+	pair := geo["Pairwise"].NormalizedSTP
+	if moe < 0.70*oracle || moe > 1.05*oracle {
+		t.Errorf("MoE/Oracle = %.2f, want ~0.84", moe/oracle)
+	}
+	if pair >= moe {
+		t.Errorf("Pairwise %.2f should trail MoE %.2f", pair, moe)
+	}
+	// STP grows with the scenario size (Figure 6a's overall trend).
+	firstMoE := schemeSTP(r.Scenarios[0], "MoE")
+	lastMoE := schemeSTP(r.Scenarios[9], "MoE")
+	if lastMoE <= firstMoE {
+		t.Errorf("MoE STP should grow from L1 (%.2f) to L10 (%.2f)", firstMoE, lastMoE)
+	}
+	// ANTT reductions positive at scale for our scheme.
+	if geo["MoE"].ANTTReductionPct <= 0 {
+		t.Errorf("MoE ANTT reduction %.1f%%, want positive (paper: 49%%)", geo["MoE"].ANTTReductionPct)
+	}
+	tables := r.Tables()
+	if len(tables) != 2 || !strings.Contains(tables[0].String(), "L10") {
+		t.Error("figure 6 tables broken")
+	}
+}
+
+func schemeSTP(sr ScenarioResult, name string) float64 {
+	for _, s := range sr.Schemes {
+		if s.Scheme == name {
+			return s.NormalizedSTP
+		}
+	}
+	return 0
+}
+
+func TestFig9MoEBeatsUnifiedGeomean(t *testing.T) {
+	ctx := quickCtx()
+	r, err := Fig9(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	moe := r.Geomean["MoE"].NormalizedSTP
+	for _, name := range []string{"Linear", "Exponential", "NapierianLog", "ANN"} {
+		if r.Geomean[name].NormalizedSTP > moe*1.03 {
+			t.Errorf("unified %s STP %.2f beats MoE %.2f", name, r.Geomean[name].NormalizedSTP, moe)
+		}
+	}
+	if len(r.Tables()) != 2 {
+		t.Error("tables broken")
+	}
+}
+
+func TestFig10MoEBeatsOnlineSearch(t *testing.T) {
+	ctx := quickCtx()
+	r, err := Fig10(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	moe := r.Geomean["MoE"].NormalizedSTP
+	online := r.Geomean["OnlineSearch"].NormalizedSTP
+	if online >= moe {
+		t.Errorf("online search %.2f should trail MoE %.2f", online, moe)
+	}
+}
+
+func TestFig7UtilizationOrdering(t *testing.T) {
+	r, err := Fig7(quickCtx())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Schemes) != 3 {
+		t.Fatalf("%d schemes, want 3", len(r.Schemes))
+	}
+	byName := map[string]Fig7Scheme{}
+	for _, s := range r.Schemes {
+		byName[s.Scheme] = s
+		if s.Trace == nil || len(s.Trace.Times) == 0 {
+			t.Fatalf("%s has no trace", s.Scheme)
+		}
+	}
+	// Our approach should finish the mix faster than Pairwise (paper: 1.46x).
+	if byName["MoE"].MakespanMin >= byName["Pairwise"].MakespanMin {
+		t.Errorf("MoE turnaround %.0fmin should beat Pairwise %.0fmin",
+			byName["MoE"].MakespanMin, byName["Pairwise"].MakespanMin)
+	}
+	if byName["MoE"].STP <= byName["Pairwise"].STP {
+		t.Errorf("MoE STP %.2f should beat Pairwise %.2f", byName["MoE"].STP, byName["Pairwise"].STP)
+	}
+}
+
+func TestFig11OverheadModest(t *testing.T) {
+	ctx := quickCtx()
+	r, err := Fig11(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 10 {
+		t.Fatalf("%d rows, want 10", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		if row.TotalMin <= 0 {
+			t.Errorf("%s total time %.2f", row.Label, row.TotalMin)
+		}
+		oh := (row.FeatureMin + row.CalibrationMin) / row.TotalMin * 100
+		if oh > 30 {
+			t.Errorf("%s profiling overhead %.1f%%, want modest (paper: ~13%%)", row.Label, oh)
+		}
+	}
+}
+
+func TestFig12PerBenchmarkOverhead(t *testing.T) {
+	r, err := Fig12(quickCtx())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 16 {
+		t.Fatalf("%d rows, want 16", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		oh := (row.FeatureMin + row.CalibrationMin) / row.TotalMin * 100
+		if oh > 25 {
+			t.Errorf("%s overhead %.1f%%, want < 25%% (paper: <13%%)", row.Name, oh)
+		}
+	}
+}
+
+func TestFig14SlowdownsBounded(t *testing.T) {
+	r, err := Fig14(quickCtx())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Dists) != 16 {
+		t.Fatalf("%d distributions, want 16", len(r.Dists))
+	}
+	if r.OverallMeanPct > 15 {
+		t.Errorf("mean co-location slowdown %.1f%%, want <= 15%% (paper: <10%%)", r.OverallMeanPct)
+	}
+	if r.MaxPct > 40 {
+		t.Errorf("max co-location slowdown %.1f%%, want <= 40%% (paper: <25%%)", r.MaxPct)
+	}
+}
+
+func TestFig15ParsecSlowdownsBounded(t *testing.T) {
+	r, err := Fig15(quickCtx())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Dists) != 12 {
+		t.Fatalf("%d PARSEC distributions, want 12", len(r.Dists))
+	}
+	if r.MaxPct > 45 {
+		t.Errorf("max PARSEC slowdown %.1f%%, want <= 45%% (paper: <30%%)", r.MaxPct)
+	}
+	for _, d := range r.Dists {
+		if d.Median < 0 {
+			t.Errorf("%s median slowdown negative", d.Name)
+		}
+	}
+}
+
+func TestWorkloadTable4RendersInContext(t *testing.T) {
+	jobs, err := workload.Table4Mix()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 30 {
+		t.Fatal("table 4 mix broken")
+	}
+}

@@ -1,0 +1,269 @@
+package features
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randomVector(r *rand.Rand) Vector {
+	var v Vector
+	for i := range v {
+		v[i] = r.Float64() * 100
+	}
+	return v
+}
+
+func TestNamesAndDescriptionsComplete(t *testing.T) {
+	for i := 0; i < NumRaw; i++ {
+		if Names[i] == "" {
+			t.Errorf("feature %d has no name", i)
+		}
+		if Descriptions[i] == "" {
+			t.Errorf("feature %d has no description", i)
+		}
+	}
+	// Spot-check the paper's ordering: cache features first, US/SY last.
+	if Names[L1TCM] != "L1_TCM" || Names[SY] != "SY" || Names[VCache] != "vcache" {
+		t.Error("feature ordering does not match Table 2")
+	}
+}
+
+func TestFitScalerEmpty(t *testing.T) {
+	if _, err := FitScaler(nil); err == nil {
+		t.Fatal("expected error for empty sample set")
+	}
+}
+
+func TestScalerBoundsAndClamp(t *testing.T) {
+	a := Vector{}
+	b := Vector{}
+	for i := range a {
+		a[i] = 0
+		b[i] = 10
+	}
+	s, err := FitScaler([]Vector{a, b})
+	if err != nil {
+		t.Fatalf("FitScaler: %v", err)
+	}
+	mid := Vector{}
+	for i := range mid {
+		mid[i] = 5
+	}
+	scaled := s.Apply(mid)
+	for i, v := range scaled {
+		if v != 0.5 {
+			t.Errorf("scaled[%d] = %v, want 0.5", i, v)
+		}
+	}
+	// Out-of-range runtime values clamp to [0,1].
+	over := Vector{}
+	for i := range over {
+		over[i] = 1000
+	}
+	for i, v := range s.Apply(over) {
+		if v != 1 {
+			t.Errorf("clamped[%d] = %v, want 1", i, v)
+		}
+	}
+	under := Vector{}
+	for i := range under {
+		under[i] = -5
+	}
+	for i, v := range s.Apply(under) {
+		if v != 0 {
+			t.Errorf("clamped[%d] = %v, want 0", i, v)
+		}
+	}
+}
+
+func TestScalerConstantFeature(t *testing.T) {
+	a := Vector{}
+	b := Vector{}
+	a[IPC] = 3
+	b[IPC] = 3 // constant feature
+	a[CS] = 1
+	b[CS] = 2
+	s, _ := FitScaler([]Vector{a, b})
+	out := s.Apply(a)
+	if out[IPC] != 0 {
+		t.Errorf("constant feature should scale to 0, got %v", out[IPC])
+	}
+}
+
+// Property: scaled training samples always lie in [0,1].
+func TestScalerRangeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(20)
+		samples := make([]Vector, n)
+		for i := range samples {
+			samples[i] = randomVector(r)
+		}
+		s, err := FitScaler(samples)
+		if err != nil {
+			return false
+		}
+		for _, v := range samples {
+			for _, x := range s.Apply(v) {
+				if x < 0 || x > 1 || math.IsNaN(x) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50, Rand: rand.New(rand.NewSource(8))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func clusteredSamples(r *rand.Rand, n int) []Vector {
+	// Three synthetic clusters that differ mainly in cache-miss features,
+	// mimicking the structure the paper observes (Figure 16): programs with
+	// the same memory-function family share a tight cache-behaviour
+	// signature across several correlated counters.
+	samples := make([]Vector, 0, n)
+	for i := 0; i < n; i++ {
+		var v Vector
+		c := i % 3
+		base := float64(c) * 30
+		for j := range v {
+			v[j] = r.Float64() * 2
+		}
+		for _, f := range []int{L1TCM, L1DCM, L1STM, VCache, L2TCM, L3TCM, CS, BO} {
+			v[f] = base + r.Float64()*3
+		}
+		samples = append(samples, v)
+	}
+	return samples
+}
+
+func TestFitPipelineDefaults(t *testing.T) {
+	r := rand.New(rand.NewSource(21))
+	p, err := FitPipeline(clusteredSamples(r, 30), PipelineConfig{})
+	if err != nil {
+		t.Fatalf("FitPipeline: %v", err)
+	}
+	if p.Components() < 1 || p.Components() > 5 {
+		t.Errorf("components = %d, want 1..5", p.Components())
+	}
+	ratios := p.ExplainedRatio()
+	if len(ratios) != NumRaw {
+		t.Errorf("explained ratios = %d entries, want %d", len(ratios), NumRaw)
+	}
+	var sum float64
+	for _, x := range ratios {
+		sum += x
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("explained ratios sum to %v, want 1", sum)
+	}
+}
+
+func TestFitPipelineTooFewSamples(t *testing.T) {
+	if _, err := FitPipeline([]Vector{{}}, PipelineConfig{}); err == nil {
+		t.Fatal("expected error for a single sample")
+	}
+}
+
+func TestPipelineTransformDims(t *testing.T) {
+	r := rand.New(rand.NewSource(22))
+	p, err := FitPipeline(clusteredSamples(r, 24), PipelineConfig{Components: 3})
+	if err != nil {
+		t.Fatalf("FitPipeline: %v", err)
+	}
+	out, err := p.Transform(randomVector(r))
+	if err != nil {
+		t.Fatalf("Transform: %v", err)
+	}
+	if len(out) != 3 {
+		t.Errorf("transform dims = %d, want 3", len(out))
+	}
+}
+
+func TestPipelineSeparatesClusters(t *testing.T) {
+	// Samples from the same cluster must be closer in PC space than samples
+	// from different clusters (this is what makes the KNN selector work).
+	r := rand.New(rand.NewSource(23))
+	samples := clusteredSamples(r, 30)
+	p, err := FitPipeline(samples, PipelineConfig{})
+	if err != nil {
+		t.Fatalf("FitPipeline: %v", err)
+	}
+	proj := make([][]float64, len(samples))
+	for i, s := range samples {
+		proj[i], err = p.Transform(s)
+		if err != nil {
+			t.Fatalf("Transform: %v", err)
+		}
+	}
+	dist := func(a, b []float64) float64 {
+		var s float64
+		for i := range a {
+			d := a[i] - b[i]
+			s += d * d
+		}
+		return math.Sqrt(s)
+	}
+	// Average intra-cluster distance must be well below average
+	// inter-cluster distance (sample i belongs to cluster i%3).
+	var intra, inter float64
+	var nIntra, nInter int
+	for i := 0; i < len(proj); i++ {
+		for j := i + 1; j < len(proj); j++ {
+			d := dist(proj[i], proj[j])
+			if i%3 == j%3 {
+				intra += d
+				nIntra++
+			} else {
+				inter += d
+				nInter++
+			}
+		}
+	}
+	intra /= float64(nIntra)
+	inter /= float64(nInter)
+	if intra >= inter {
+		t.Errorf("avg intra-cluster distance %v >= inter-cluster %v", intra, inter)
+	}
+}
+
+func TestImportancesRankCacheFeatures(t *testing.T) {
+	// With cluster structure driven by cache-miss features, those features
+	// must dominate the Varimax importance ranking (Figure 4b).
+	r := rand.New(rand.NewSource(24))
+	p, err := FitPipeline(clusteredSamples(r, 60), PipelineConfig{})
+	if err != nil {
+		t.Fatalf("FitPipeline: %v", err)
+	}
+	imp := p.Importances()
+	if len(imp) != NumRaw {
+		t.Fatalf("importances = %d entries, want %d", len(imp), NumRaw)
+	}
+	// Percentages sum to ~100 and are sorted descending.
+	var sum float64
+	for i, im := range imp {
+		sum += im.Percent
+		if i > 0 && im.Percent > imp[i-1].Percent {
+			t.Error("importances not sorted descending")
+		}
+	}
+	if math.Abs(sum-100) > 1e-6 {
+		t.Errorf("importances sum to %v, want 100", sum)
+	}
+	driven := map[string]bool{
+		"L1_TCM": true, "L1_DCM": true, "L1_STM": true, "vcache": true,
+		"L2_TCM": true, "L3_TCM": true, "cs": true, "bo": true,
+	}
+	hits := 0
+	for _, im := range imp[:5] {
+		if driven[im.Name] {
+			hits++
+		}
+	}
+	if hits < 4 {
+		t.Errorf("top-5 importances %v are not dominated by the discriminative features", imp[:5])
+	}
+}

@@ -1,0 +1,102 @@
+package mathx
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// Eigen holds the eigendecomposition of a symmetric matrix: Values[i] is the
+// i-th eigenvalue (descending) and the i-th column of Vectors is the
+// corresponding unit eigenvector.
+type Eigen struct {
+	Values  []float64
+	Vectors *Matrix
+}
+
+// JacobiEigen computes the eigendecomposition of the symmetric matrix a
+// using the cyclic Jacobi rotation method. The input is not modified.
+// Eigenpairs are returned sorted by descending eigenvalue.
+func JacobiEigen(a *Matrix) (*Eigen, error) {
+	n := a.Rows
+	if a.Cols != n {
+		return nil, errors.New("mathx: JacobiEigen requires a square matrix")
+	}
+	if !a.IsSymmetric(1e-9) {
+		return nil, errors.New("mathx: JacobiEigen requires a symmetric matrix")
+	}
+	w := a.Clone()
+	v := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		v.Set(i, i, 1)
+	}
+	const maxSweeps = 100
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		// Off-diagonal Frobenius norm.
+		var off float64
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				off += w.At(i, j) * w.At(i, j)
+			}
+		}
+		if off < 1e-22 {
+			break
+		}
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				apq := w.At(p, q)
+				if math.Abs(apq) < 1e-300 {
+					continue
+				}
+				app := w.At(p, p)
+				aqq := w.At(q, q)
+				theta := (aqq - app) / (2 * apq)
+				var t float64
+				if theta >= 0 {
+					t = 1 / (theta + math.Sqrt(1+theta*theta))
+				} else {
+					t = -1 / (-theta + math.Sqrt(1+theta*theta))
+				}
+				c := 1 / math.Sqrt(1+t*t)
+				s := t * c
+				// Apply the rotation G(p,q,theta) on both sides: W = GᵀWG.
+				for k := 0; k < n; k++ {
+					wkp := w.At(k, p)
+					wkq := w.At(k, q)
+					w.Set(k, p, c*wkp-s*wkq)
+					w.Set(k, q, s*wkp+c*wkq)
+				}
+				for k := 0; k < n; k++ {
+					wpk := w.At(p, k)
+					wqk := w.At(q, k)
+					w.Set(p, k, c*wpk-s*wqk)
+					w.Set(q, k, s*wpk+c*wqk)
+				}
+				for k := 0; k < n; k++ {
+					vkp := v.At(k, p)
+					vkq := v.At(k, q)
+					v.Set(k, p, c*vkp-s*vkq)
+					v.Set(k, q, s*vkp+c*vkq)
+				}
+			}
+		}
+	}
+	// Extract and sort by descending eigenvalue.
+	type pair struct {
+		val float64
+		idx int
+	}
+	pairs := make([]pair, n)
+	for i := 0; i < n; i++ {
+		pairs[i] = pair{w.At(i, i), i}
+	}
+	sort.SliceStable(pairs, func(i, j int) bool { return pairs[i].val > pairs[j].val })
+	out := &Eigen{Values: make([]float64, n), Vectors: NewMatrix(n, n)}
+	for col, p := range pairs {
+		out.Values[col] = p.val
+		for r := 0; r < n; r++ {
+			out.Vectors.Set(r, col, v.At(r, p.idx))
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,246 @@
+// Package mathx provides the dense linear algebra and statistics kernels
+// used by the feature pipeline, the expert selector and the experiment
+// harness: matrices, symmetric eigendecomposition (cyclic Jacobi), PCA,
+// Varimax rotation, least squares and summary statistics.
+//
+// Everything is implemented with the standard library only and is sized for
+// the small, dense problems that arise in this system (tens of samples,
+// at most a few dozen dimensions).
+package mathx
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Matrix is a dense, row-major matrix of float64 values.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// NewMatrix allocates a zero-valued Rows x Cols matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("mathx: invalid matrix dimensions %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// NewMatrixFromRows builds a matrix from a slice of equal-length rows.
+func NewMatrixFromRows(rows [][]float64) (*Matrix, error) {
+	if len(rows) == 0 {
+		return nil, errors.New("mathx: no rows")
+	}
+	cols := len(rows[0])
+	m := NewMatrix(len(rows), cols)
+	for i, r := range rows {
+		if len(r) != cols {
+			return nil, fmt.Errorf("mathx: ragged rows: row %d has %d cols, want %d", i, len(r), cols)
+		}
+		copy(m.Data[i*cols:(i+1)*cols], r)
+	}
+	return m, nil
+}
+
+// At returns the element at row i, column j.
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns the element at row i, column j.
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Row returns a copy of row i.
+func (m *Matrix) Row(i int) []float64 {
+	out := make([]float64, m.Cols)
+	copy(out, m.Data[i*m.Cols:(i+1)*m.Cols])
+	return out
+}
+
+// Col returns a copy of column j.
+func (m *Matrix) Col(j int) []float64 {
+	out := make([]float64, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		out[i] = m.At(i, j)
+	}
+	return out
+}
+
+// Clone returns a deep copy of the matrix.
+func (m *Matrix) Clone() *Matrix {
+	c := NewMatrix(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// T returns the transpose as a new matrix.
+func (m *Matrix) T() *Matrix {
+	t := NewMatrix(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			t.Set(j, i, m.At(i, j))
+		}
+	}
+	return t
+}
+
+// Mul returns the matrix product m * other.
+func (m *Matrix) Mul(other *Matrix) (*Matrix, error) {
+	if m.Cols != other.Rows {
+		return nil, fmt.Errorf("mathx: dimension mismatch %dx%d * %dx%d", m.Rows, m.Cols, other.Rows, other.Cols)
+	}
+	out := NewMatrix(m.Rows, other.Cols)
+	for i := 0; i < m.Rows; i++ {
+		for k := 0; k < m.Cols; k++ {
+			a := m.At(i, k)
+			if a == 0 {
+				continue
+			}
+			rowK := other.Data[k*other.Cols : (k+1)*other.Cols]
+			rowI := out.Data[i*out.Cols : (i+1)*out.Cols]
+			for j, b := range rowK {
+				rowI[j] += a * b
+			}
+		}
+	}
+	return out, nil
+}
+
+// MulVec returns the matrix-vector product m * v.
+func (m *Matrix) MulVec(v []float64) ([]float64, error) {
+	if m.Cols != len(v) {
+		return nil, fmt.Errorf("mathx: dimension mismatch %dx%d * vec(%d)", m.Rows, m.Cols, len(v))
+	}
+	out := make([]float64, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		var s float64
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		for j, a := range row {
+			s += a * v[j]
+		}
+		out[i] = s
+	}
+	return out, nil
+}
+
+// Covariance computes the sample covariance matrix of X, where the rows of X
+// are observations and the columns are variables. The result is Cols x Cols.
+func Covariance(x *Matrix) (*Matrix, error) {
+	if x.Rows < 2 {
+		return nil, errors.New("mathx: covariance needs at least 2 observations")
+	}
+	means := make([]float64, x.Cols)
+	for j := 0; j < x.Cols; j++ {
+		var s float64
+		for i := 0; i < x.Rows; i++ {
+			s += x.At(i, j)
+		}
+		means[j] = s / float64(x.Rows)
+	}
+	cov := NewMatrix(x.Cols, x.Cols)
+	inv := 1.0 / float64(x.Rows-1)
+	for a := 0; a < x.Cols; a++ {
+		for b := a; b < x.Cols; b++ {
+			var s float64
+			for i := 0; i < x.Rows; i++ {
+				s += (x.At(i, a) - means[a]) * (x.At(i, b) - means[b])
+			}
+			s *= inv
+			cov.Set(a, b, s)
+			cov.Set(b, a, s)
+		}
+	}
+	return cov, nil
+}
+
+// IsSymmetric reports whether m is square and symmetric within tol.
+func (m *Matrix) IsSymmetric(tol float64) bool {
+	if m.Rows != m.Cols {
+		return false
+	}
+	for i := 0; i < m.Rows; i++ {
+		for j := i + 1; j < m.Cols; j++ {
+			if math.Abs(m.At(i, j)-m.At(j, i)) > tol {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// SolveLinear solves the square linear system A x = b using Gaussian
+// elimination with partial pivoting. A and b are not modified.
+func SolveLinear(a *Matrix, b []float64) ([]float64, error) {
+	n := a.Rows
+	if a.Cols != n {
+		return nil, fmt.Errorf("mathx: SolveLinear requires a square matrix, got %dx%d", a.Rows, a.Cols)
+	}
+	if len(b) != n {
+		return nil, fmt.Errorf("mathx: SolveLinear rhs length %d, want %d", len(b), n)
+	}
+	// Augmented working copy.
+	aug := NewMatrix(n, n+1)
+	for i := 0; i < n; i++ {
+		copy(aug.Data[i*(n+1):i*(n+1)+n], a.Data[i*n:(i+1)*n])
+		aug.Set(i, n, b[i])
+	}
+	for col := 0; col < n; col++ {
+		// Partial pivot.
+		pivot := col
+		maxAbs := math.Abs(aug.At(col, col))
+		for r := col + 1; r < n; r++ {
+			if v := math.Abs(aug.At(r, col)); v > maxAbs {
+				maxAbs, pivot = v, r
+			}
+		}
+		if maxAbs < 1e-14 {
+			return nil, errors.New("mathx: singular matrix")
+		}
+		if pivot != col {
+			for j := col; j <= n; j++ {
+				aug.Set(col, j, aug.At(col, j)+aug.At(pivot, j))
+				aug.Set(pivot, j, aug.At(col, j)-aug.At(pivot, j))
+				aug.Set(col, j, aug.At(col, j)-aug.At(pivot, j))
+			}
+		}
+		pv := aug.At(col, col)
+		for r := col + 1; r < n; r++ {
+			f := aug.At(r, col) / pv
+			if f == 0 {
+				continue
+			}
+			for j := col; j <= n; j++ {
+				aug.Set(r, j, aug.At(r, j)-f*aug.At(col, j))
+			}
+		}
+	}
+	// Back substitution.
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := aug.At(i, n)
+		for j := i + 1; j < n; j++ {
+			s -= aug.At(i, j) * x[j]
+		}
+		x[i] = s / aug.At(i, i)
+	}
+	return x, nil
+}
+
+// LeastSquares solves the over-determined system A x ~= b in the
+// least-squares sense via the normal equations (AᵀA)x = Aᵀb. It is adequate
+// for the small, well-conditioned regression problems in this package.
+func LeastSquares(a *Matrix, b []float64) ([]float64, error) {
+	if a.Rows != len(b) {
+		return nil, fmt.Errorf("mathx: LeastSquares rows %d != rhs %d", a.Rows, len(b))
+	}
+	at := a.T()
+	ata, err := at.Mul(a)
+	if err != nil {
+		return nil, err
+	}
+	atb, err := at.MulVec(b)
+	if err != nil {
+		return nil, err
+	}
+	return SolveLinear(ata, atb)
+}

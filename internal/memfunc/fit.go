@@ -1,0 +1,254 @@
+package memfunc
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"moespark/internal/mathx"
+)
+
+// Point is one profiling observation: input size X and measured executor
+// memory footprint Y (both in GB).
+type Point struct {
+	X, Y float64
+}
+
+// Fit holds a fitted memory function together with goodness-of-fit metrics
+// computed on the fitting data. RelRMSE is the root-mean-square *relative*
+// error; because profiled input sizes span six decades, relative error is the
+// scale-balanced criterion for choosing between families (and matches the
+// paper's "average error of 5 %" reporting).
+type Fit struct {
+	Func    Func
+	R2      float64
+	RMSE    float64
+	RelRMSE float64
+}
+
+// ErrInsufficientData is returned when fewer than two usable points are
+// supplied to a fitting routine.
+var ErrInsufficientData = errors.New("memfunc: need at least 2 distinct profiling points")
+
+// FitFamily fits the coefficients of one family to the profiling points by
+// least squares (closed-form for the linearisable families, a bounded 1-D
+// search for the exponential family).
+func FitFamily(family Family, pts []Point) (Fit, error) {
+	usable := filterUsable(family, pts)
+	if len(usable) < 2 {
+		return Fit{}, ErrInsufficientData
+	}
+	var fn Func
+	switch family {
+	case LinearPower:
+		f, err := fitLinearPower(usable)
+		if err != nil {
+			return Fit{}, err
+		}
+		fn = f
+	case Exponential:
+		f, err := fitExponential(usable)
+		if err != nil {
+			return Fit{}, err
+		}
+		fn = f
+	case NapierianLog:
+		f, err := fitNapierianLog(usable)
+		if err != nil {
+			return Fit{}, err
+		}
+		fn = f
+	default:
+		return Fit{}, fmt.Errorf("memfunc: unknown family %d", int(family))
+	}
+	r2, rmse, relRMSE := goodness(fn, usable)
+	return Fit{Func: fn, R2: r2, RMSE: rmse, RelRMSE: relRMSE}, nil
+}
+
+// BestFit fits every family and returns the fit with the smallest relative
+// RMSE, which is how the offline training phase assigns each training program
+// its memory-function label. Because the saturating exponential degenerates
+// to a straight line for small b*x, a later family only displaces an earlier
+// one when it improves the criterion by a clear margin (Occam tie-break);
+// otherwise noise would routinely relabel linear programs as exponential.
+func BestFit(pts []Point) (Fit, error) {
+	const improvement = 0.90 // must cut relative RMSE by >10 % to displace
+	var best Fit
+	var found bool
+	var firstErr error
+	for _, fam := range Families {
+		fit, err := FitFamily(fam, pts)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		if !found || fit.RelRMSE < best.RelRMSE*improvement {
+			best = fit
+			found = true
+		}
+	}
+	if !found {
+		if firstErr == nil {
+			firstErr = ErrInsufficientData
+		}
+		return Fit{}, firstErr
+	}
+	return best, nil
+}
+
+func filterUsable(family Family, pts []Point) []Point {
+	out := make([]Point, 0, len(pts))
+	for _, p := range pts {
+		if math.IsNaN(p.X) || math.IsNaN(p.Y) || math.IsInf(p.X, 0) || math.IsInf(p.Y, 0) {
+			continue
+		}
+		if p.X <= 0 || p.Y <= 0 {
+			continue // all three families are fitted in the positive quadrant
+		}
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].X < out[j].X })
+	// Drop duplicate X values, keeping the first.
+	dedup := out[:0]
+	var lastX float64
+	for i, p := range out {
+		if i > 0 && p.X == lastX {
+			continue
+		}
+		dedup = append(dedup, p)
+		lastX = p.X
+	}
+	return dedup
+}
+
+// fitLinearPower solves y = m + b*x by least squares on *relative*
+// residuals (each row weighted by 1/y): profiled sizes span six decades, and
+// unweighted least squares would let the largest footprints drown out the
+// small-input behaviour the scheduler also depends on.
+func fitLinearPower(pts []Point) (Func, error) {
+	a := mathx.NewMatrix(len(pts), 2)
+	b := make([]float64, len(pts))
+	for i, p := range pts {
+		a.Set(i, 0, 1/p.Y)
+		a.Set(i, 1, p.X/p.Y)
+		b[i] = 1
+	}
+	coef, err := mathx.LeastSquares(a, b)
+	if err != nil {
+		return Func{}, fmt.Errorf("memfunc: linear fit: %w", err)
+	}
+	return Func{Family: LinearPower, M: coef[0], B: coef[1]}, nil
+}
+
+// fitNapierianLog solves y = m + b ln x by least squares on relative
+// residuals (see fitLinearPower for the weighting rationale).
+func fitNapierianLog(pts []Point) (Func, error) {
+	a := mathx.NewMatrix(len(pts), 2)
+	b := make([]float64, len(pts))
+	for i, p := range pts {
+		a.Set(i, 0, 1/p.Y)
+		a.Set(i, 1, math.Log(p.X)/p.Y)
+		b[i] = 1
+	}
+	coef, err := mathx.LeastSquares(a, b)
+	if err != nil {
+		return Func{}, fmt.Errorf("memfunc: napierian-log fit: %w", err)
+	}
+	return Func{Family: NapierianLog, M: coef[0], B: coef[1]}, nil
+}
+
+// fitExponential fits y = m (1 - e^{-b x}). For a fixed rate b the optimal
+// amplitude has the closed form m = Σ y g / Σ g² with g = 1 - e^{-b x}, so a
+// golden-section search over log(b) suffices.
+func fitExponential(pts []Point) (Func, error) {
+	sse := func(bRate float64) (float64, float64) {
+		// Closed-form amplitude under 1/y^2 weighting: minimize
+		// sum ((y - m g)/y)^2 => m = sum(g/y) / sum(g^2/y^2).
+		var syg, sgg float64
+		for _, p := range pts {
+			g := 1 - math.Exp(-bRate*p.X)
+			syg += g / p.Y
+			sgg += (g / p.Y) * (g / p.Y)
+		}
+		if sgg == 0 {
+			return 0, math.Inf(1)
+		}
+		m := syg / sgg
+		var e float64
+		for _, p := range pts {
+			d := p.Y - m*(1-math.Exp(-bRate*p.X))
+			e += d * d
+		}
+		return m, e
+	}
+	// Search b over a generous log-spaced range; input sizes span roughly
+	// 1e-5 GB to 1e3 GB in this system, so rates from 1e-6 to 1e6 cover all
+	// plausible saturation points.
+	const lo, hi = -6.0, 6.0
+	bestB, bestM, bestE := 0.0, 0.0, math.Inf(1)
+	for i := 0; i <= 240; i++ {
+		bRate := math.Pow(10, lo+(hi-lo)*float64(i)/240)
+		m, e := sse(bRate)
+		if e < bestE {
+			bestB, bestM, bestE = bRate, m, e
+		}
+	}
+	// Local refinement around the best grid cell.
+	l := bestB / 2
+	r := bestB * 2
+	for i := 0; i < 60; i++ {
+		m1 := l + (r-l)/3
+		m2 := r - (r-l)/3
+		_, e1 := sse(m1)
+		_, e2 := sse(m2)
+		if e1 < e2 {
+			r = m2
+		} else {
+			l = m1
+		}
+	}
+	finalB := (l + r) / 2
+	m, e := sse(finalB)
+	if e < bestE {
+		bestB, bestM = finalB, m
+	}
+	if bestM <= 0 || math.IsInf(bestE, 1) {
+		return Func{}, errors.New("memfunc: exponential fit did not converge")
+	}
+	return Func{Family: Exponential, M: bestM, B: bestB}, nil
+}
+
+// goodness computes R², RMSE and relative RMSE of fn on pts.
+func goodness(fn Func, pts []Point) (r2, rmse, relRMSE float64) {
+	var meanY float64
+	for _, p := range pts {
+		meanY += p.Y
+	}
+	meanY /= float64(len(pts))
+	var ssRes, ssTot, ssRel float64
+	for _, p := range pts {
+		pred, err := fn.Eval(p.X)
+		if err != nil {
+			pred = 0
+		}
+		d := p.Y - pred
+		ssRes += d * d
+		t := p.Y - meanY
+		ssTot += t * t
+		rel := d / p.Y // pts are filtered to Y > 0
+		ssRel += rel * rel
+	}
+	n := float64(len(pts))
+	rmse = math.Sqrt(ssRes / n)
+	relRMSE = math.Sqrt(ssRel / n)
+	if ssTot == 0 {
+		if ssRes == 0 {
+			return 1, rmse, relRMSE
+		}
+		return 0, rmse, relRMSE
+	}
+	return 1 - ssRes/ssTot, rmse, relRMSE
+}

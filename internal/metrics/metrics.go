@@ -1,0 +1,148 @@
+// Package metrics computes the paper's evaluation metrics (Section 5.3):
+// system throughput (STP, Equation 1) and average normalized turnaround time
+// (ANTT, Equation 2), plus the normalizations against the serial
+// isolated-execution baseline used throughout Section 6.
+package metrics
+
+import (
+	"errors"
+	"fmt"
+
+	"moespark/internal/cluster"
+	"moespark/internal/mathx"
+	"moespark/internal/workload"
+)
+
+// RunMetrics summarises one scheduled run of a job mix.
+type RunMetrics struct {
+	// STP is Equation 1: sum over tasks of C_is / C_cl, where C_is is the
+	// task's isolated execution time and C_cl its turnaround under the
+	// scheme.
+	STP float64
+	// ANTT is Equation 2: mean over tasks of C_cl / C_is.
+	ANTT float64
+	// MakespanSec is the wall-clock time to finish the whole mix (the
+	// "turnaround time" of Figure 8).
+	MakespanSec float64
+	// OOMKills counts executor OOM kills during the run.
+	OOMKills int
+}
+
+// Baseline summarises the serial isolated-execution baseline for a mix.
+type Baseline struct {
+	// STP / ANTT computed with serial turnarounds (task i waits for tasks
+	// 0..i-1).
+	STP  float64
+	ANTT float64
+	// MakespanSec is the serial makespan: the sum of isolated times.
+	MakespanSec float64
+}
+
+// Comparison is a run set against the serial baseline, the form the paper
+// reports. Equation 1's STP is already normalized to isolated execution
+// (each task's progress is divided by its isolated time), so NormalizedSTP
+// is the Equation-1 value itself; ANTT reduction and makespan speedup are
+// relative to the serial isolated baseline.
+type Comparison struct {
+	RunMetrics
+	// NormalizedSTP is the Equation-1 STP (aggregated progress relative to
+	// isolated execution), the quantity of Figure 6a.
+	NormalizedSTP float64
+	// ANTTReductionPct is the percentage reduction of ANTT vs the serial
+	// baseline (Figure 6b).
+	ANTTReductionPct float64
+	// Speedup is baseline makespan over scheme makespan.
+	Speedup float64
+}
+
+// ErrIncompleteRun is returned when an app never finished.
+var ErrIncompleteRun = errors.New("metrics: run has unfinished applications")
+
+// FromResult computes STP and ANTT for a finished run, with isolated times
+// supplied by the cluster's closed form.
+func FromResult(c *cluster.Cluster, res *cluster.Result) (RunMetrics, error) {
+	var m RunMetrics
+	if len(res.Apps) == 0 {
+		return m, errors.New("metrics: empty run")
+	}
+	for _, a := range res.Apps {
+		turn := a.Turnaround()
+		if turn <= 0 {
+			return m, fmt.Errorf("%w: %s", ErrIncompleteRun, a.Job)
+		}
+		cis := c.IsolatedTime(a.Job)
+		m.STP += cis / turn
+		m.ANTT += turn / cis
+	}
+	m.ANTT /= float64(len(res.Apps))
+	m.MakespanSec = res.MakespanSec
+	m.OOMKills = res.OOMKills
+	return m, nil
+}
+
+// SerialBaseline computes the paper's baseline: applications scheduled one
+// by one, each using all the memory of its nodes. Task i's turnaround is the
+// sum of isolated times of tasks 0..i.
+func SerialBaseline(c *cluster.Cluster, jobs []workload.Job) Baseline {
+	var b Baseline
+	var elapsed float64
+	for _, j := range jobs {
+		cis := c.IsolatedTime(j)
+		elapsed += cis
+		b.STP += cis / elapsed
+		b.ANTT += elapsed / cis
+	}
+	if len(jobs) > 0 {
+		b.ANTT /= float64(len(jobs))
+	}
+	b.MakespanSec = elapsed
+	return b
+}
+
+// Compare normalizes a run against the serial baseline.
+func Compare(run RunMetrics, base Baseline) Comparison {
+	cmp := Comparison{RunMetrics: run}
+	cmp.NormalizedSTP = run.STP
+	if base.ANTT > 0 {
+		cmp.ANTTReductionPct = (base.ANTT - run.ANTT) / base.ANTT * 100
+	}
+	if run.MakespanSec > 0 {
+		cmp.Speedup = base.MakespanSec / run.MakespanSec
+	}
+	return cmp
+}
+
+// Aggregate combines comparisons across mixes the way the paper reports
+// scenarios: geometric-mean STP, arithmetic-mean ANTT reduction, and the
+// min/max range for the error bars of Figure 6.
+type Aggregate struct {
+	NormalizedSTP    float64
+	STPMin, STPMax   float64
+	ANTTReductionPct float64
+	ANTTMin, ANTTMax float64
+	Runs             int
+}
+
+// Aggregate summarises a set of comparisons.
+func AggregateComparisons(cs []Comparison) Aggregate {
+	if len(cs) == 0 {
+		return Aggregate{}
+	}
+	stp := make([]float64, len(cs))
+	antt := make([]float64, len(cs))
+	for i, c := range cs {
+		stp[i] = c.NormalizedSTP
+		antt[i] = c.ANTTReductionPct
+	}
+	lo, hi := mathx.MinMax(stp)
+	alo, ahi := mathx.MinMax(antt)
+	return Aggregate{
+		NormalizedSTP:    mathx.GeoMean(stp),
+		STPMin:           lo,
+		STPMax:           hi,
+		ANTTReductionPct: mathx.Mean(antt),
+		ANTTMin:          alo,
+		ANTTMax:          ahi,
+		Runs:             len(cs),
+	}
+}

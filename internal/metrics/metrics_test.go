@@ -1,0 +1,132 @@
+package metrics
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"moespark/internal/cluster"
+	"moespark/internal/workload"
+)
+
+func jobsFor(t *testing.T, names []string, gbs []float64) []workload.Job {
+	t.Helper()
+	jobs := make([]workload.Job, len(names))
+	for i, n := range names {
+		b, err := workload.Find(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs[i] = workload.Job{Bench: b, InputGB: gbs[i]}
+	}
+	return jobs
+}
+
+func TestSerialBaselineTwoEqualJobs(t *testing.T) {
+	c := cluster.New(cluster.DefaultConfig())
+	jobs := jobsFor(t, []string{"HB.Sort", "HB.Sort"}, []float64{30, 30})
+	b := SerialBaseline(c, jobs)
+	// Equal jobs: STP = 1 + 1/2, ANTT = (1 + 2)/2.
+	if math.Abs(b.STP-1.5) > 1e-9 {
+		t.Errorf("serial STP = %v, want 1.5", b.STP)
+	}
+	if math.Abs(b.ANTT-1.5) > 1e-9 {
+		t.Errorf("serial ANTT = %v, want 1.5", b.ANTT)
+	}
+	cis := c.IsolatedTime(jobs[0])
+	if math.Abs(b.MakespanSec-2*cis) > 1e-9 {
+		t.Errorf("serial makespan = %v, want %v", b.MakespanSec, 2*cis)
+	}
+}
+
+func TestSerialBaselineEmpty(t *testing.T) {
+	c := cluster.New(cluster.DefaultConfig())
+	b := SerialBaseline(c, nil)
+	if b.STP != 0 || b.ANTT != 0 || b.MakespanSec != 0 {
+		t.Errorf("empty baseline = %+v", b)
+	}
+}
+
+func TestFromResultRejectsUnfinished(t *testing.T) {
+	c := cluster.New(cluster.DefaultConfig())
+	jobs := jobsFor(t, []string{"HB.Sort"}, []float64{10})
+	app := &cluster.App{Job: jobs[0], DoneTime: -1}
+	res := &cluster.Result{Apps: []*cluster.App{app}}
+	if _, err := FromResult(c, res); !errors.Is(err, ErrIncompleteRun) {
+		t.Errorf("want ErrIncompleteRun, got %v", err)
+	}
+	if _, err := FromResult(c, &cluster.Result{}); err == nil {
+		t.Error("empty result must error")
+	}
+}
+
+func TestFromResultComputesEquations(t *testing.T) {
+	c := cluster.New(cluster.DefaultConfig())
+	jobs := jobsFor(t, []string{"HB.Sort", "HB.Kmeans"}, []float64{30, 30})
+	cis0 := c.IsolatedTime(jobs[0])
+	cis1 := c.IsolatedTime(jobs[1])
+	apps := []*cluster.App{
+		{Job: jobs[0], SubmitTime: 0, DoneTime: 2 * cis0},
+		{Job: jobs[1], SubmitTime: 0, DoneTime: 4 * cis1},
+	}
+	res := &cluster.Result{Apps: apps, MakespanSec: 4 * cis1, OOMKills: 3}
+	m, err := FromResult(c, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.STP-(0.5+0.25)) > 1e-9 {
+		t.Errorf("STP = %v, want 0.75", m.STP)
+	}
+	if math.Abs(m.ANTT-3) > 1e-9 {
+		t.Errorf("ANTT = %v, want 3", m.ANTT)
+	}
+	if m.OOMKills != 3 {
+		t.Errorf("OOMKills = %d", m.OOMKills)
+	}
+}
+
+func TestCompareProducesReductions(t *testing.T) {
+	run := RunMetrics{STP: 8, ANTT: 2, MakespanSec: 100}
+	base := Baseline{STP: 3, ANTT: 8, MakespanSec: 400}
+	cmp := Compare(run, base)
+	if cmp.NormalizedSTP != 8 {
+		t.Errorf("NormalizedSTP = %v, want the Equation-1 value 8", cmp.NormalizedSTP)
+	}
+	if math.Abs(cmp.ANTTReductionPct-75) > 1e-9 {
+		t.Errorf("ANTT reduction = %v, want 75", cmp.ANTTReductionPct)
+	}
+	if math.Abs(cmp.Speedup-4) > 1e-9 {
+		t.Errorf("speedup = %v, want 4", cmp.Speedup)
+	}
+}
+
+func TestCompareZeroBaseline(t *testing.T) {
+	cmp := Compare(RunMetrics{STP: 5}, Baseline{})
+	if cmp.ANTTReductionPct != 0 || cmp.Speedup != 0 {
+		t.Errorf("zero baseline should leave reductions zero: %+v", cmp)
+	}
+}
+
+func TestAggregateComparisons(t *testing.T) {
+	cs := []Comparison{
+		{NormalizedSTP: 4, ANTTReductionPct: 40},
+		{NormalizedSTP: 9, ANTTReductionPct: 60},
+	}
+	agg := AggregateComparisons(cs)
+	if math.Abs(agg.NormalizedSTP-6) > 1e-9 { // geomean(4,9)=6
+		t.Errorf("geomean STP = %v, want 6", agg.NormalizedSTP)
+	}
+	if agg.ANTTReductionPct != 50 {
+		t.Errorf("mean ANTT reduction = %v, want 50", agg.ANTTReductionPct)
+	}
+	if agg.STPMin != 4 || agg.STPMax != 9 || agg.ANTTMin != 40 || agg.ANTTMax != 60 {
+		t.Errorf("min/max wrong: %+v", agg)
+	}
+	if agg.Runs != 2 {
+		t.Errorf("runs = %d", agg.Runs)
+	}
+	empty := AggregateComparisons(nil)
+	if empty.Runs != 0 {
+		t.Error("empty aggregate should be zero")
+	}
+}

@@ -1,0 +1,93 @@
+package metrics
+
+import (
+	"errors"
+	"fmt"
+
+	"moespark/internal/mathx"
+)
+
+// Replay implements the paper's measurement protocol (Section 5.2): a test
+// case is replayed until the difference between the upper and lower bounds
+// of the 95 % confidence interval of the mean STP is below a target fraction
+// of the mean, or a replay cap is hit.
+type Replay struct {
+	// TargetFraction is the CI-width target relative to the mean (the paper
+	// uses 5 %). Defaults to 0.05.
+	TargetFraction float64
+	// MinRuns is the minimum number of replays before the CI is consulted
+	// (default 3).
+	MinRuns int
+	// MaxRuns caps the replays (default 50).
+	MaxRuns int
+}
+
+func (r Replay) withDefaults() Replay {
+	if r.TargetFraction <= 0 {
+		r.TargetFraction = 0.05
+	}
+	if r.MinRuns < 2 {
+		r.MinRuns = 3
+	}
+	if r.MaxRuns < r.MinRuns {
+		r.MaxRuns = 50
+	}
+	return r
+}
+
+// ReplayOutcome reports the converged measurement.
+type ReplayOutcome struct {
+	// MeanSTP and MeanANTT are the converged means.
+	MeanSTP  float64
+	MeanANTT float64
+	// HalfWidthSTP is the final 95 % CI half-width of the STP mean.
+	HalfWidthSTP float64
+	// Runs is how many replays were needed.
+	Runs int
+	// Converged reports whether the CI target was met within MaxRuns.
+	Converged bool
+}
+
+// ErrNoRuns is returned when the run function never succeeds.
+var ErrNoRuns = errors.New("metrics: no successful replays")
+
+// Run replays the case (the closure executes one scheduling run, typically
+// with a different seed per invocation) until the CI target is met.
+func (r Replay) Run(runOnce func(replica int) (RunMetrics, error)) (ReplayOutcome, error) {
+	r = r.withDefaults()
+	var stps, antts []float64
+	for i := 0; i < r.MaxRuns; i++ {
+		m, err := runOnce(i)
+		if err != nil {
+			return ReplayOutcome{}, fmt.Errorf("metrics: replay %d: %w", i, err)
+		}
+		stps = append(stps, m.STP)
+		antts = append(antts, m.ANTT)
+		if len(stps) < r.MinRuns {
+			continue
+		}
+		mean, half := mathx.MeanConfidence95(stps)
+		// The paper's criterion: upper-lower bound difference (2*half)
+		// below TargetFraction of the mean.
+		if mean > 0 && 2*half <= r.TargetFraction*mean {
+			return ReplayOutcome{
+				MeanSTP:      mean,
+				MeanANTT:     mathx.Mean(antts),
+				HalfWidthSTP: half,
+				Runs:         len(stps),
+				Converged:    true,
+			}, nil
+		}
+	}
+	if len(stps) == 0 {
+		return ReplayOutcome{}, ErrNoRuns
+	}
+	mean, half := mathx.MeanConfidence95(stps)
+	return ReplayOutcome{
+		MeanSTP:      mean,
+		MeanANTT:     mathx.Mean(antts),
+		HalfWidthSTP: half,
+		Runs:         len(stps),
+		Converged:    false,
+	}, nil
+}

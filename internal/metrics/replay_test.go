@@ -1,0 +1,89 @@
+package metrics
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"moespark/internal/cluster"
+	"moespark/internal/moe"
+	"moespark/internal/sched"
+	"moespark/internal/workload"
+)
+
+func TestReplayConvergesOnLowVariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	calls := 0
+	out, err := Replay{}.Run(func(int) (RunMetrics, error) {
+		calls++
+		return RunMetrics{STP: 10 + rng.Float64()*0.01, ANTT: 2}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Converged {
+		t.Error("low-variance series should converge")
+	}
+	if out.Runs != calls || out.Runs > 5 {
+		t.Errorf("runs = %d (calls %d), expected quick convergence", out.Runs, calls)
+	}
+	if out.MeanSTP < 10 || out.MeanSTP > 10.02 {
+		t.Errorf("mean STP = %v", out.MeanSTP)
+	}
+}
+
+func TestReplayHitsCapOnHighVariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	out, err := Replay{MaxRuns: 8}.Run(func(int) (RunMetrics, error) {
+		return RunMetrics{STP: 1 + rng.Float64()*100, ANTT: 1}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Converged {
+		t.Error("wild series should not converge in 8 runs")
+	}
+	if out.Runs != 8 {
+		t.Errorf("runs = %d, want the cap", out.Runs)
+	}
+}
+
+func TestReplayPropagatesErrors(t *testing.T) {
+	boom := errors.New("boom")
+	if _, err := (Replay{}).Run(func(int) (RunMetrics, error) {
+		return RunMetrics{}, boom
+	}); !errors.Is(err, boom) {
+		t.Errorf("want boom, got %v", err)
+	}
+}
+
+func TestReplayEndToEndWithScheduler(t *testing.T) {
+	// The paper's protocol against the real simulator: replicas differ only
+	// in profiling noise seeds.
+	model, err := moe.TrainDefault(rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := workload.ScenarioByLabel("L3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := workload.RandomMix(sc, rand.New(rand.NewSource(4)))
+	out, err := Replay{MaxRuns: 10}.Run(func(rep int) (RunMetrics, error) {
+		c := cluster.New(cluster.DefaultConfig())
+		res, err := c.Run(jobs, sched.NewMoE(model, rand.New(rand.NewSource(int64(100+rep)))))
+		if err != nil {
+			return RunMetrics{}, err
+		}
+		return FromResult(c, res)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.MeanSTP <= 1 {
+		t.Errorf("mean STP %v, want co-location win", out.MeanSTP)
+	}
+	if !out.Converged {
+		t.Logf("did not converge in 10 runs (half-width %v) — acceptable", out.HalfWidthSTP)
+	}
+}

@@ -1,0 +1,41 @@
+package moe
+
+import (
+	"math/rand"
+
+	"moespark/internal/workload"
+)
+
+// BuildTraining profiles the given benchmarks offline (feature collection on
+// a small input, footprint sweep across the training grid) and returns them
+// as training programs.
+func BuildTraining(benches []*workload.Benchmark, rng *rand.Rand) []TrainingProgram {
+	out := make([]TrainingProgram, 0, len(benches))
+	for _, b := range benches {
+		out = append(out, TrainingProgram{
+			Name:     b.FullName(),
+			Features: b.Counters(rng),
+			Curve:    b.CurvePoints(workload.TrainingSweep, rng),
+		})
+	}
+	return out
+}
+
+// TrainOnBenchmarks trains a model on the benchmarks, excluding the given
+// full names (the paper's leave-one-out protocol also excludes equivalent
+// implementations from other suites).
+func TrainOnBenchmarks(benches []*workload.Benchmark, exclude map[string]bool, cfg Config, rng *rand.Rand) (*Model, error) {
+	kept := make([]*workload.Benchmark, 0, len(benches))
+	for _, b := range benches {
+		if exclude[b.FullName()] {
+			continue
+		}
+		kept = append(kept, b)
+	}
+	return Train(BuildTraining(kept, rng), cfg)
+}
+
+// TrainDefault trains on the paper's 16 HiBench+BigDataBench programs.
+func TrainDefault(rng *rand.Rand) (*Model, error) {
+	return TrainOnBenchmarks(workload.TrainingSet(), nil, Config{}, rng)
+}

@@ -1,0 +1,232 @@
+package moe
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"moespark/internal/memfunc"
+	"moespark/internal/workload"
+)
+
+// trainingPrograms builds the paper's 16-program training set from the
+// synthetic workload models.
+func trainingPrograms(rng *rand.Rand) []TrainingProgram {
+	var out []TrainingProgram
+	for _, b := range workload.TrainingSet() {
+		out = append(out, TrainingProgram{
+			Name:     b.FullName(),
+			Features: b.Counters(rng),
+			Curve:    b.CurvePoints(workload.TrainingSweep, rng),
+		})
+	}
+	return out
+}
+
+func trainedModel(t *testing.T, seed int64) *Model {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	m, err := Train(trainingPrograms(rng), Config{})
+	if err != nil {
+		t.Fatalf("Train: %v", err)
+	}
+	return m
+}
+
+func TestTrainRejectsTinySet(t *testing.T) {
+	if _, err := Train(nil, Config{}); err == nil {
+		t.Fatal("Train(nil) must error")
+	}
+	rng := rand.New(rand.NewSource(1))
+	one := trainingPrograms(rng)[:1]
+	if _, err := Train(one, Config{}); err == nil {
+		t.Fatal("Train with one program must error")
+	}
+}
+
+func TestTrainLabelsMatchTruth(t *testing.T) {
+	m := trainedModel(t, 2)
+	byName := workload.ByFullName()
+	for _, p := range m.Programs() {
+		truth := byName[p.Name].Truth.Family
+		if p.Family != truth {
+			t.Errorf("%s labelled %v, truth %v", p.Name, p.Family, truth)
+		}
+		if p.Fit.R2 < 0.95 {
+			t.Errorf("%s offline fit R2 = %v", p.Name, p.Fit.R2)
+		}
+	}
+}
+
+func TestSelectFamilyOnUnseenSuites(t *testing.T) {
+	// Train on HiBench+BigDataBench, test on Spark-Perf and Spark-Bench —
+	// the paper's cross-suite protocol. Selection accuracy must be high.
+	m := trainedModel(t, 3)
+	rng := rand.New(rand.NewSource(4))
+	correct, total := 0, 0
+	for _, b := range workload.Catalog() {
+		if b.Suite == workload.HiBench || b.Suite == workload.BigDataBench {
+			continue
+		}
+		sel, err := m.SelectFamily(b.Counters(rng))
+		if err != nil {
+			t.Fatalf("%s: SelectFamily: %v", b.FullName(), err)
+		}
+		total++
+		if sel.Family == b.Truth.Family {
+			correct++
+		}
+		if !sel.Confident {
+			t.Errorf("%s flagged low-confidence despite in-distribution features", b.FullName())
+		}
+	}
+	acc := float64(correct) / float64(total)
+	if acc < 0.9 {
+		t.Errorf("cross-suite selection accuracy %.2f, want >= 0.9 (paper: ~0.97)", acc)
+	}
+}
+
+func TestPredictEndToEndAccuracy(t *testing.T) {
+	// Full runtime path: features -> expert -> 2-point calibration. The
+	// footprint prediction error at a large unseen size must be small
+	// (paper: ~5 % average).
+	m := trainedModel(t, 5)
+	rng := rand.New(rand.NewSource(6))
+	var errSum float64
+	var n int
+	for _, b := range workload.Catalog() {
+		input := 280.0
+		p1 := b.ProfilePoint(2, rng)
+		p2 := b.ProfilePoint(4, rng)
+		pred, err := m.Predict(b.Counters(rng), p1, p2)
+		if err != nil {
+			t.Fatalf("%s: Predict: %v", b.FullName(), err)
+		}
+		got, err := pred.Func.Eval(input)
+		if err != nil {
+			t.Fatalf("%s: Eval: %v", b.FullName(), err)
+		}
+		truth := b.Footprint(input)
+		relErr := math.Abs(got-truth) / truth
+		errSum += relErr
+		n++
+		if relErr > 0.5 {
+			t.Errorf("%s: footprint %v vs truth %v (rel err %.2f)", b.FullName(), got, truth, relErr)
+		}
+	}
+	avg := errSum / float64(n)
+	if avg > 0.10 {
+		t.Errorf("average footprint error %.3f, want <= 0.10 (paper: ~0.05)", avg)
+	}
+}
+
+func TestPredictCalibrationFallback(t *testing.T) {
+	m := trainedModel(t, 7)
+	// Profiling points with super-linear growth are infeasible for the
+	// exponential family; prediction must fall back, not fail.
+	rng := rand.New(rand.NewSource(8))
+	b, err := workload.Find("HB.Sort") // exponential family features
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred, err := m.Predict(b.Counters(rng), memfunc.Point{X: 1, Y: 1}, memfunc.Point{X: 2, Y: 5})
+	if err != nil {
+		t.Fatalf("Predict with infeasible points: %v", err)
+	}
+	if !pred.FellBack {
+		t.Error("expected calibration fallback")
+	}
+	if pred.Func.Family == memfunc.Exponential {
+		t.Errorf("fallback kept the infeasible family: %v", pred.Func)
+	}
+}
+
+func TestPredictDegeneratePointsError(t *testing.T) {
+	m := trainedModel(t, 9)
+	rng := rand.New(rand.NewSource(10))
+	b, _ := workload.Find("HB.Sort")
+	if _, err := m.Predict(b.Counters(rng), memfunc.Point{X: 1, Y: 1}, memfunc.Point{X: 1, Y: 1}); err == nil {
+		t.Fatal("degenerate calibration points must error")
+	}
+}
+
+func TestConfidenceFlagsOutOfDistribution(t *testing.T) {
+	m := trainedModel(t, 11)
+	// An adversarial cache signature unlike any training family: alternating
+	// extreme counter values. It projects inside the unit cube but far off
+	// the training manifold, so the residual-augmented distance flags it.
+	var far [22]float64
+	for i := range far {
+		if i%2 == 0 {
+			far[i] = 100
+		} else {
+			far[i] = -100
+		}
+	}
+	sel, err := m.SelectFamily(far)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.Confident {
+		t.Errorf("distance %v within radius %v: out-of-distribution target not flagged", sel.Distance, m.ConfidenceRadius())
+	}
+}
+
+func TestAddProgramExtendsSelector(t *testing.T) {
+	m := trainedModel(t, 12)
+	before := len(m.Programs())
+	rng := rand.New(rand.NewSource(13))
+	b, _ := workload.Find("SB.TriangleCount")
+	err := m.AddProgram(TrainingProgram{
+		Name:     b.FullName(),
+		Features: b.Counters(rng),
+		Curve:    b.CurvePoints(workload.TrainingSweep, rng),
+	})
+	if err != nil {
+		t.Fatalf("AddProgram: %v", err)
+	}
+	if len(m.Programs()) != before+1 {
+		t.Errorf("programs = %d, want %d", len(m.Programs()), before+1)
+	}
+	// Selecting for that very benchmark should now hit the new neighbour.
+	sel, err := m.SelectFamily(b.Counters(rng))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.Family != b.Truth.Family {
+		t.Errorf("family after AddProgram = %v, want %v", sel.Family, b.Truth.Family)
+	}
+	// Bad curve data is rejected.
+	if err := m.AddProgram(TrainingProgram{Name: "broken"}); err == nil {
+		t.Error("AddProgram with no curve must error")
+	}
+}
+
+func TestLeaveOneOutSelectionAccuracy(t *testing.T) {
+	// The paper's Table 5 protocol on the KNN selector: leave one training
+	// program out, train on the rest, select for the held-out one.
+	rng := rand.New(rand.NewSource(14))
+	programs := trainingPrograms(rng)
+	correct := 0
+	byName := workload.ByFullName()
+	for i := range programs {
+		train := make([]TrainingProgram, 0, len(programs)-1)
+		train = append(train, programs[:i]...)
+		train = append(train, programs[i+1:]...)
+		m, err := Train(train, Config{})
+		if err != nil {
+			t.Fatalf("fold %d: %v", i, err)
+		}
+		sel, err := m.SelectFamily(programs[i].Features)
+		if err != nil {
+			t.Fatalf("fold %d: %v", i, err)
+		}
+		if sel.Family == byName[programs[i].Name].Truth.Family {
+			correct++
+		}
+	}
+	acc := float64(correct) / float64(len(programs))
+	if acc < 0.85 {
+		t.Errorf("LOOCV selection accuracy %.2f, want >= 0.85 (paper: 0.974)", acc)
+	}
+}

@@ -1,0 +1,163 @@
+package moe
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"moespark/internal/classify"
+	"moespark/internal/features"
+	"moespark/internal/mathx"
+	"moespark/internal/memfunc"
+)
+
+// The paper deploys the trained artefacts — the per-feature min/max bounds,
+// the PCA transformation matrix and the labelled training programs — to the
+// runtime scheduler. Save and Load serialise exactly those artefacts as
+// JSON, so a model trained offline can be shipped to the coordinating node.
+
+// modelJSON is the on-disk representation of a trained model.
+type modelJSON struct {
+	Version   int           `json:"version"`
+	Config    configJSON    `json:"config"`
+	Scaler    scalerJSON    `json:"scaler"`
+	PCA       pcaJSON       `json:"pca"`
+	Programs  []programJSON `json:"programs"`
+	Threshold float64       `json:"confidence_threshold"`
+}
+
+type configJSON struct {
+	K                int     `json:"k"`
+	ConfidenceFactor float64 `json:"confidence_factor"`
+}
+
+type scalerJSON struct {
+	Min []float64 `json:"min"`
+	Max []float64 `json:"max"`
+}
+
+type pcaJSON struct {
+	Mean       []float64 `json:"mean"`
+	Components []float64 `json:"components"` // row-major, dims x k
+	Dims       int       `json:"dims"`
+	K          int       `json:"k"`
+	Explained  []float64 `json:"explained"`
+}
+
+type programJSON struct {
+	Name     string    `json:"name"`
+	Family   int       `json:"family"`
+	FuncM    float64   `json:"m"`
+	FuncB    float64   `json:"b"`
+	R2       float64   `json:"r2"`
+	PCs      []float64 `json:"pcs"`
+	Residual float64   `json:"residual"`
+}
+
+const persistVersion = 1
+
+// Save writes the model's deployable artefacts as JSON.
+func (m *Model) Save(w io.Writer) error {
+	pj := modelJSON{
+		Version: persistVersion,
+		Config: configJSON{
+			K:                m.cfg.K,
+			ConfidenceFactor: m.cfg.ConfidenceFactor,
+		},
+		Scaler: scalerJSON{
+			Min: m.pipeline.Scaler.Min[:],
+			Max: m.pipeline.Scaler.Max[:],
+		},
+		PCA: pcaJSON{
+			Mean:       m.pipeline.PCA.Mean,
+			Components: m.pipeline.PCA.Components.Data,
+			Dims:       m.pipeline.PCA.Components.Rows,
+			K:          m.pipeline.PCA.K,
+			Explained:  m.pipeline.PCA.Explained,
+		},
+		Threshold: m.threshold,
+	}
+	for _, p := range m.programs {
+		pj.Programs = append(pj.Programs, programJSON{
+			Name:     p.Name,
+			Family:   int(p.Family),
+			FuncM:    p.Fit.Func.M,
+			FuncB:    p.Fit.Func.B,
+			R2:       p.Fit.R2,
+			PCs:      p.PCs,
+			Residual: p.Residual,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(pj); err != nil {
+		return fmt.Errorf("moe: encoding model: %w", err)
+	}
+	return nil
+}
+
+// Load reconstructs a model from its JSON artefacts. The KNN selector is
+// rebuilt from the stored program projections.
+func Load(r io.Reader) (*Model, error) {
+	var pj modelJSON
+	if err := json.NewDecoder(r).Decode(&pj); err != nil {
+		return nil, fmt.Errorf("moe: decoding model: %w", err)
+	}
+	if pj.Version != persistVersion {
+		return nil, fmt.Errorf("moe: unsupported model version %d", pj.Version)
+	}
+	if len(pj.Scaler.Min) != features.NumRaw || len(pj.Scaler.Max) != features.NumRaw {
+		return nil, fmt.Errorf("moe: scaler bounds have %d/%d dims, want %d",
+			len(pj.Scaler.Min), len(pj.Scaler.Max), features.NumRaw)
+	}
+	if pj.PCA.Dims != features.NumRaw || pj.PCA.K <= 0 ||
+		len(pj.PCA.Components) != pj.PCA.Dims*pj.PCA.K ||
+		len(pj.PCA.Mean) != pj.PCA.Dims {
+		return nil, fmt.Errorf("moe: inconsistent PCA block (dims=%d k=%d)", pj.PCA.Dims, pj.PCA.K)
+	}
+	if len(pj.Programs) < 2 {
+		return nil, fmt.Errorf("moe: model has %d programs, need at least 2", len(pj.Programs))
+	}
+
+	scaler := &features.Scaler{}
+	copy(scaler.Min[:], pj.Scaler.Min)
+	copy(scaler.Max[:], pj.Scaler.Max)
+	comp := mathx.NewMatrix(pj.PCA.Dims, pj.PCA.K)
+	copy(comp.Data, pj.PCA.Components)
+	pipeline := &features.Pipeline{
+		Scaler: scaler,
+		PCA: &mathx.PCA{
+			Mean:       pj.PCA.Mean,
+			Components: comp,
+			Explained:  pj.PCA.Explained,
+			K:          pj.PCA.K,
+		},
+	}
+
+	cfg := Config{K: pj.Config.K, ConfidenceFactor: pj.Config.ConfidenceFactor}.withDefaults()
+	m := &Model{cfg: cfg, pipeline: pipeline, threshold: pj.Threshold}
+	samples := make([]classify.Sample, 0, len(pj.Programs))
+	for _, p := range pj.Programs {
+		fam := memfunc.Family(p.Family)
+		if !fam.Valid() {
+			return nil, fmt.Errorf("moe: program %q has invalid family %d", p.Name, p.Family)
+		}
+		if len(p.PCs) != pj.PCA.K {
+			return nil, fmt.Errorf("moe: program %q has %d PCs, want %d", p.Name, len(p.PCs), pj.PCA.K)
+		}
+		fn := memfunc.Func{Family: fam, M: p.FuncM, B: p.FuncB}
+		m.programs = append(m.programs, ProgramLabel{
+			Name:     p.Name,
+			Family:   fam,
+			Fit:      memfunc.Fit{Func: fn, R2: p.R2},
+			PCs:      p.PCs,
+			Residual: p.Residual,
+		})
+		samples = append(samples, classify.Sample{X: p.PCs, Label: int(fam)})
+	}
+	m.selector = classify.NewKNN(cfg.K)
+	if err := m.selector.Fit(samples); err != nil {
+		return nil, fmt.Errorf("moe: rebuilding selector: %w", err)
+	}
+	return m, nil
+}

@@ -1,0 +1,89 @@
+package moe
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"moespark/internal/workload"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	m := trainedModel(t, 501)
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(loaded.Programs()) != len(m.Programs()) {
+		t.Fatalf("program count %d, want %d", len(loaded.Programs()), len(m.Programs()))
+	}
+	if loaded.ConfidenceRadius() != m.ConfidenceRadius() {
+		t.Errorf("threshold %v, want %v", loaded.ConfidenceRadius(), m.ConfidenceRadius())
+	}
+	// The loaded model must make identical selections.
+	rng := rand.New(rand.NewSource(502))
+	for _, b := range workload.Catalog() {
+		counters := b.Counters(rng)
+		want, err := m.SelectFamily(counters)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := loaded.SelectFamily(counters)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Family != want.Family || got.Confident != want.Confident {
+			t.Errorf("%s: loaded selection (%v,%v), original (%v,%v)",
+				b.FullName(), got.Family, got.Confident, want.Family, want.Confident)
+		}
+	}
+	// End-to-end prediction works on the loaded model.
+	b, _ := workload.Find("SP.Kmeans")
+	pred, err := loaded.Predict(b.Counters(rng), b.ProfilePoint(1, rng), b.ProfilePoint(4, rng))
+	if err != nil {
+		t.Fatalf("Predict on loaded model: %v", err)
+	}
+	if pred.Func.Family != b.Truth.Family {
+		t.Errorf("loaded model predicted %v, want %v", pred.Func.Family, b.Truth.Family)
+	}
+}
+
+func TestLoadRejectsCorruptInput(t *testing.T) {
+	cases := map[string]string{
+		"garbage":     "not json",
+		"bad version": `{"version": 99}`,
+		"no programs": `{"version":1,"config":{"k":1,"confidence_factor":1.2},
+			"scaler":{"min":[0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0],
+			"max":[1,1,1,1,1,1,1,1,1,1,1,1,1,1,1,1,1,1,1,1,1,1]},
+			"pca":{"mean":[0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0],
+			"components":[],"dims":22,"k":0,"explained":[]},
+			"programs":[]}`,
+		"short scaler": `{"version":1,"scaler":{"min":[1],"max":[2]}}`,
+	}
+	for name, in := range cases {
+		if _, err := Load(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: Load should fail", name)
+		}
+	}
+}
+
+func TestLoadRejectsBadProgram(t *testing.T) {
+	m := trainedModel(t, 503)
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt a family label.
+	s := strings.Replace(buf.String(), `"family": 1`, `"family": 42`, 1)
+	if s == buf.String() {
+		s = strings.Replace(buf.String(), `"family": 2`, `"family": 42`, 1)
+	}
+	if _, err := Load(strings.NewReader(s)); err == nil {
+		t.Error("corrupt family label should fail to load")
+	}
+}

@@ -1,0 +1,224 @@
+package sched
+
+import (
+	"moespark/internal/cluster"
+)
+
+// Dispatcher is the paper's job dispatcher (Section 4.3) generalised over
+// estimators. It walks the FCFS queue on every scheduling event and spawns
+// executors on nodes with spare reserved memory, provided the aggregate CPU
+// load stays under 100 %.
+type Dispatcher struct {
+	// PolicyName is reported by Name().
+	PolicyName string
+	// Est supplies memory predictions; nil disables prediction (Pairwise).
+	Est Estimator
+	// Serial restricts execution to one application at a time (the
+	// isolated-execution baseline).
+	Serial bool
+	// MaxAppsPerNode caps distinct applications per node (Pairwise uses 2);
+	// 0 means bounded only by memory and CPU.
+	MaxAppsPerNode int
+	// ReserveAllFree makes a co-located executor reserve the node's entire
+	// free memory (the Pairwise heap policy).
+	ReserveAllFree bool
+	// SafetyMargin over-provisions predicted footprints by this fraction.
+	SafetyMargin float64
+	// CheckCPU enforces the dispatcher's aggregate-CPU admission rule.
+	CheckCPU bool
+}
+
+var _ cluster.Scheduler = (*Dispatcher)(nil)
+
+// Name implements cluster.Scheduler.
+func (d *Dispatcher) Name() string { return d.PolicyName }
+
+// Prepare implements cluster.Scheduler by delegating to the estimator.
+func (d *Dispatcher) Prepare(_ *cluster.Cluster, app *cluster.App) cluster.ProfilePlan {
+	if d.Est == nil {
+		return cluster.ProfilePlan{}
+	}
+	return d.Est.Prepare(app)
+}
+
+// Schedule implements cluster.Scheduler.
+func (d *Dispatcher) Schedule(c *cluster.Cluster) {
+	if d.Serial {
+		d.scheduleSerial(c)
+		return
+	}
+	// Two passes: applications with no executor yet go first so waiting
+	// jobs start as soon as possible (Section 4.3), then everyone grows
+	// towards its fleet cap, FCFS within each pass.
+	waiting := c.WaitingApps()
+	for _, app := range waiting {
+		if len(app.Executors) == 0 {
+			d.placeApp(c, app)
+		}
+	}
+	for _, app := range waiting {
+		d.placeApp(c, app)
+	}
+	// Third pass: dynamically adjust the data allocation of running
+	// executors as memory frees up (Section 4.3: "the number of data items
+	// to give to the co-located executor is dynamically adjusted over
+	// time").
+	if d.Est != nil {
+		for _, app := range c.Apps() {
+			if app.State == cluster.StateRunning {
+				d.growExecutors(c, app)
+			}
+		}
+	}
+}
+
+// growExecutors widens shrunken data allocations toward the fair share when
+// their node has free memory.
+func (d *Dispatcher) growExecutors(c *cluster.Cluster, app *cluster.App) {
+	est, ok := d.Est.Estimate(app)
+	if !ok {
+		return
+	}
+	margin := 1 + d.SafetyMargin
+	for _, e := range app.Executors {
+		if e.ItemsGB >= e.FairShareGB {
+			continue
+		}
+		free := e.Node.FreeGB()
+		if free <= 0.5 {
+			continue
+		}
+		items := clampItems(est.Items((e.ReservedGB+free)/margin), app.RemainingGB)
+		if items > e.FairShareGB {
+			items = e.FairShareGB
+		}
+		if items <= e.ItemsGB*1.05 {
+			continue // not worth the churn
+		}
+		reserve := est.Footprint(items) * margin
+		if reserve > e.ReservedGB+free {
+			reserve = e.ReservedGB + free
+		}
+		if reserve < e.ReservedGB {
+			reserve = e.ReservedGB
+		}
+		_ = c.Grow(e, reserve, items)
+	}
+}
+
+// scheduleSerial runs the FCFS head exclusively: executors get whole nodes
+// with all their memory, and no other application starts until it finishes.
+func (d *Dispatcher) scheduleSerial(c *cluster.Cluster) {
+	var head *cluster.App
+	for _, a := range c.Apps() {
+		if a.State != cluster.StateDone {
+			head = a
+			break
+		}
+	}
+	if head == nil || (head.State != cluster.StateReady && head.State != cluster.StateRunning) {
+		return
+	}
+	for _, n := range c.Nodes() {
+		if len(head.Executors) >= head.MaxExecutors || head.RemainingGB <= 0 {
+			return
+		}
+		if len(n.Executors) > 0 || head.ExecutorOn(n) {
+			continue
+		}
+		share := remainingShare(head)
+		if _, err := c.Spawn(head, n, c.Config().AllocatableGB(), share); err != nil {
+			continue
+		}
+	}
+}
+
+// remainingShare is the fair data allocation for the app's next executor.
+func remainingShare(app *cluster.App) float64 {
+	slots := app.MaxExecutors - len(app.Executors)
+	if slots < 1 {
+		slots = 1
+	}
+	return app.RemainingGB / float64(slots)
+}
+
+// placeApp tries to spawn executors for one application on every compatible
+// node.
+func (d *Dispatcher) placeApp(c *cluster.Cluster, app *cluster.App) {
+	cfg := c.Config()
+	demand := app.Job.Bench.CPULoad
+	for _, n := range c.Nodes() {
+		if len(app.Executors) >= app.MaxExecutors || app.RemainingGB <= 0 {
+			return
+		}
+		if app.ExecutorOn(n) || (app.BlockedOn(n) && len(n.Executors) > 0) {
+			continue
+		}
+		if d.MaxAppsPerNode > 0 && n.AppCount() >= d.MaxAppsPerNode {
+			continue
+		}
+		if d.CheckCPU && n.CPUDemand()+demand > 1.0+1e-9 {
+			continue
+		}
+		free := n.FreeGB()
+		if free <= cfg.MinChunkGB {
+			continue
+		}
+		reserve, items, ok := d.plan(cfg, app, n, free)
+		if !ok {
+			continue
+		}
+		if _, err := c.Spawn(app, n, reserve, items); err != nil {
+			continue
+		}
+	}
+}
+
+// plan decides the reservation and data allocation for a prospective
+// executor given the node's free memory.
+func (d *Dispatcher) plan(cfg cluster.Config, app *cluster.App, n *cluster.Node, free float64) (reserve, items float64, ok bool) {
+	share := remainingShare(app)
+	var est MemEstimate
+	haveEst := false
+	if d.Est != nil {
+		est, haveEst = d.Est.Estimate(app)
+	}
+	if !haveEst {
+		// No prediction: Spark-default allocation. The first executor on a
+		// node takes the default heap (half the node); a co-located one
+		// takes all free memory (the Pairwise policy). Items follow the
+		// Spark default scheduler: the fair share.
+		if d.ReserveAllFree && len(n.Executors) > 0 {
+			return free, share, true
+		}
+		half := cfg.AllocatableGB() / 2
+		if half > free {
+			half = free
+		}
+		return half, share, true
+	}
+	margin := 1 + d.SafetyMargin
+	need := est.Footprint(share) * margin
+	if need <= free {
+		return need, share, true
+	}
+	// Shrink the allocation to what fits the free memory.
+	fit := clampItems(est.Items(free/margin), app.RemainingGB)
+	if fit < cfg.MinChunkGB {
+		// The model claims nothing fits. If the node is otherwise empty and
+		// the application has no executor at all, run it anyway with the
+		// default heap: a mispredicting model must not starve a job forever.
+		if len(n.Executors) == 0 && len(app.Executors) == 0 {
+			return free, share, true
+		}
+		return 0, 0, false
+	}
+	if fit > share {
+		fit = share
+	}
+	reserve = est.Footprint(fit) * margin
+	if reserve > free {
+		reserve = free
+	}
+	return reserve, fit, true
+}

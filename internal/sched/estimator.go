@@ -1,0 +1,91 @@
+// Package sched implements the runtime system of Section 4: a job
+// dispatcher that co-locates Spark executors on nodes with spare memory and
+// CPU, driven by a pluggable memory estimator. The paper's comparative
+// schemes are all expressed in this framework:
+//
+//	Isolated     — the baseline: one application at a time, full memory
+//	Pairwise     — at most two apps per node, co-runner heap = all free memory
+//	Quasar       — one monolithic learned model for every application
+//	MoE          — the paper's mixture-of-experts predictor (this work)
+//	Oracle       — ground-truth footprints, no profiling cost
+//	OnlineSearch — no model; gradient probing of the input allocation
+//	Unified*     — a single curve family (or ANN) for every application
+package sched
+
+import (
+	"math"
+
+	"moespark/internal/cluster"
+)
+
+// Estimator plans profiling for an application and predicts executor memory
+// footprints for it. Implementations store their per-app state in
+// App.Estimate.
+type Estimator interface {
+	// Name identifies the estimator.
+	Name() string
+	// Prepare is invoked once at submission. It returns the profiling plan
+	// charged to the coordinating node, and typically installs a
+	// MemEstimate into app.Estimate.
+	Prepare(app *cluster.App) cluster.ProfilePlan
+	// Estimate returns the app's memory estimate, or ok=false when the
+	// estimator has no usable prediction (the dispatcher then falls back to
+	// conservative pairwise-style reservation).
+	Estimate(app *cluster.App) (MemEstimate, bool)
+}
+
+// MemEstimate predicts the memory footprint of one application's executor
+// as a function of its data allocation.
+type MemEstimate struct {
+	// Footprint returns the predicted footprint (GB) for x GB of items.
+	Footprint func(x float64) float64
+	// Items returns the largest allocation whose predicted footprint stays
+	// within the budget (may be +Inf for bounded curves).
+	Items func(budgetGB float64) float64
+}
+
+// estimateOf retrieves a MemEstimate installed by Prepare.
+func estimateOf(app *cluster.App) (MemEstimate, bool) {
+	est, ok := app.Estimate.(MemEstimate)
+	if !ok || est.Footprint == nil || est.Items == nil {
+		return MemEstimate{}, false
+	}
+	return est, true
+}
+
+// invertByBisection numerically inverts a monotone-ish footprint function on
+// (0, hi]. It is used by estimators whose model has no closed-form inverse
+// (the ANN). If even the smallest probe exceeds the budget it returns 0.
+func invertByBisection(footprint func(float64) float64, budgetGB, hi float64) float64 {
+	const lo = 1e-3
+	if budgetGB <= 0 {
+		return 0
+	}
+	if footprint(hi) <= budgetGB {
+		return hi
+	}
+	if footprint(lo) > budgetGB {
+		return 0
+	}
+	a, b := lo, hi
+	for i := 0; i < 80; i++ {
+		mid := (a + b) / 2
+		if footprint(mid) <= budgetGB {
+			a = mid
+		} else {
+			b = mid
+		}
+	}
+	return a
+}
+
+// clampItems bounds an allocation into [0, remaining].
+func clampItems(x, remaining float64) float64 {
+	if math.IsInf(x, 1) || x > remaining {
+		return remaining
+	}
+	if x < 0 {
+		return 0
+	}
+	return x
+}

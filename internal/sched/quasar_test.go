@@ -1,0 +1,116 @@
+package sched
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"moespark/internal/cluster"
+	"moespark/internal/workload"
+)
+
+func TestQuasarModelTransfersCurves(t *testing.T) {
+	rng := rand.New(rand.NewSource(301))
+	q, err := TrainQuasar(workload.TrainingSet(), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A training program queried with fresh (noisy) counters should get a
+	// near-exact curve back (its own profile).
+	b, _ := workload.Find("HB.PageRank")
+	fn, err := q.Curve(b.Counters(rng))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fn.Family != b.Truth.Family {
+		t.Errorf("transferred family %v, want %v", fn.Family, b.Truth.Family)
+	}
+	got := q.Footprint(b.Counters(rng), 62.5)
+	truth := b.Footprint(62.5)
+	if math.Abs(got-truth)/truth > 0.10 {
+		t.Errorf("self-transfer error %.1f%%", math.Abs(got-truth)/truth*100)
+	}
+}
+
+func TestQuasarCoarserThanCalibratedMixture(t *testing.T) {
+	// Quasar transfers a neighbour's coefficients without calibration: mean
+	// error over the full catalogue should be clearly worse than the MoE's
+	// ~5 % but not pathological.
+	rng := rand.New(rand.NewSource(302))
+	q, err := TrainQuasar(workload.TrainingSet(), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	var n int
+	for _, b := range workload.Catalog() {
+		for _, x := range []float64{5, 25, 62.5} {
+			truth := b.Footprint(x)
+			if truth <= 0 {
+				continue
+			}
+			pred := q.Footprint(b.Counters(rng), x)
+			sum += math.Abs(pred-truth) / truth
+			n++
+		}
+	}
+	mean := sum / float64(n)
+	if mean < 0.05 {
+		t.Errorf("Quasar mean error %.1f%% suspiciously low (should be coarser than the mixture)", mean*100)
+	}
+	if mean > 0.60 {
+		t.Errorf("Quasar mean error %.1f%% pathologically high", mean*100)
+	}
+}
+
+func TestTrainQuasarValidation(t *testing.T) {
+	if _, err := TrainQuasar(nil, rand.New(rand.NewSource(1))); err == nil {
+		t.Fatal("empty training set must error")
+	}
+}
+
+func TestUnifiedANNBaseline(t *testing.T) {
+	rng := rand.New(rand.NewSource(303))
+	ann, err := TrainUnifiedANN(workload.TrainingSet(), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Predictions are positive and finite across the catalogue and sweep.
+	for _, b := range workload.Catalog() {
+		raw := b.Counters(rng)
+		for _, x := range []float64{1, 30, 100} {
+			y := ann.Footprint(raw, x)
+			if y <= 0 || math.IsNaN(y) || math.IsInf(y, 0) || y > 500 {
+				t.Fatalf("%s at %vGB: ANN predicted %v", b.FullName(), x, y)
+			}
+		}
+	}
+	if _, err := TrainUnifiedANN(nil, rng); err == nil {
+		t.Fatal("empty training set must error")
+	}
+}
+
+func TestDispatcherGrowthRestoresFairShare(t *testing.T) {
+	// An executor squeezed into limited free memory must grow its data
+	// allocation once the co-runner finishes and memory frees up.
+	moeModel := moEModel(t, 304)
+	cfg := cluster.DefaultConfig()
+	cfg.Nodes = 1
+	cfg.MaxExecutorNodes = 1
+	c := cluster.New(cfg)
+	big, _ := workload.Find("SP.Pca")    // linear family, large footprint
+	small, _ := workload.Find("HB.Scan") // exponential, small and quick
+	jobs := []workload.Job{
+		{Bench: small, InputGB: 10},
+		{Bench: big, InputGB: 60},
+	}
+	res, err := c.Run(jobs, NewMoE(moeModel, rand.New(rand.NewSource(305))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range res.Apps {
+		if a.Turnaround() <= 0 {
+			t.Fatalf("app %d unfinished", a.ID)
+		}
+	}
+}

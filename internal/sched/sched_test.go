@@ -1,0 +1,205 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+
+	"moespark/internal/cluster"
+	"moespark/internal/memfunc"
+	"moespark/internal/metrics"
+	"moespark/internal/moe"
+	"moespark/internal/workload"
+)
+
+// runMix schedules jobs under a freshly-built policy and returns the
+// comparison against the serial baseline.
+func runMix(t *testing.T, jobs []workload.Job, mk func() *Dispatcher) metrics.Comparison {
+	t.Helper()
+	c := cluster.New(cluster.DefaultConfig())
+	res, err := c.Run(jobs, mk())
+	if err != nil {
+		t.Fatalf("run under %s: %v", mk().Name(), err)
+	}
+	run, err := metrics.FromResult(c, res)
+	if err != nil {
+		t.Fatalf("metrics under %s: %v", mk().Name(), err)
+	}
+	base := metrics.SerialBaseline(c, jobs)
+	return metrics.Compare(run, base)
+}
+
+func moEModel(t *testing.T, seed int64) *moe.Model {
+	t.Helper()
+	m, err := moe.TrainDefault(rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatalf("TrainDefault: %v", err)
+	}
+	return m
+}
+
+func quasarModel(t *testing.T, seed int64) *QuasarModel {
+	t.Helper()
+	q, err := TrainQuasar(workload.TrainingSet(), rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatalf("TrainQuasar: %v", err)
+	}
+	return q
+}
+
+func testJobs(t *testing.T, label string, seed int64) []workload.Job {
+	t.Helper()
+	s, err := workload.ScenarioByLabel(label)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return workload.RandomMix(s, rand.New(rand.NewSource(seed)))
+}
+
+func TestIsolatedMatchesSerialBaseline(t *testing.T) {
+	jobs := testJobs(t, "L4", 1)
+	cmp := runMix(t, jobs, NewIsolated)
+	// The serial isolated policy should track the analytic serial baseline
+	// within a small tolerance (fluid startup effects only).
+	c := cluster.New(cluster.DefaultConfig())
+	base := metrics.SerialBaseline(c, jobs)
+	if cmp.NormalizedSTP < base.STP*0.9 || cmp.NormalizedSTP > base.STP*1.1 {
+		t.Errorf("isolated STP = %v, want ~%v (serial baseline)", cmp.NormalizedSTP, base.STP)
+	}
+	if cmp.ANTTReductionPct < -10 || cmp.ANTTReductionPct > 10 {
+		t.Errorf("isolated ANTT reduction = %v%%, want ~0", cmp.ANTTReductionPct)
+	}
+}
+
+func TestCoLocationOrderingMatchesPaper(t *testing.T) {
+	// The paper's headline ordering on large mixes (Figure 6):
+	// Pairwise < Quasar <= MoE <= Oracle, with Pairwise falling far behind
+	// at scale (it cannot co-locate beyond two applications per node) and
+	// MoE close to the ideal predictor (paper: 83.9 %).
+	moeModel := moEModel(t, 2)
+	qModel := quasarModel(t, 3)
+	var pair, quas, ours, oracle float64
+	const mixes = 6
+	for i := int64(0); i < mixes; i++ {
+		jobs := testJobs(t, "L10", 10+i)
+		pair += runMix(t, jobs, NewPairwise).NormalizedSTP
+		quas += runMix(t, jobs, func() *Dispatcher { return NewQuasar(qModel, rand.New(rand.NewSource(40+i))) }).NormalizedSTP
+		ours += runMix(t, jobs, func() *Dispatcher { return NewMoE(moeModel, rand.New(rand.NewSource(50+i))) }).NormalizedSTP
+		oracle += runMix(t, jobs, NewOracle).NormalizedSTP
+	}
+	t.Logf("normalized STP (avg of %d mixes): pairwise=%.2f quasar=%.2f moe=%.2f oracle=%.2f",
+		mixes, pair/mixes, quas/mixes, ours/mixes, oracle/mixes)
+	if !(pair < ours && ours <= oracle*1.02) {
+		t.Errorf("STP ordering violated: pairwise=%.2f moe=%.2f oracle=%.2f", pair, ours, oracle)
+	}
+	if ours < quas*0.98 {
+		t.Errorf("MoE (%.2f) should not trail Quasar (%.2f)", ours, quas)
+	}
+	if ours < 0.72*oracle {
+		t.Errorf("MoE achieves %.1f%% of Oracle STP, want >= 72%% (paper: ~84%%)", ours/oracle*100)
+	}
+	if pair > 0.85*oracle {
+		t.Errorf("Pairwise achieves %.1f%% of Oracle STP, should fall clearly behind at L10", pair/oracle*100)
+	}
+	// All co-location schemes must beat serial isolation clearly.
+	if pair/mixes < 1.5 {
+		t.Errorf("pairwise normalized STP %.2f, expected clear win over serial", pair/mixes)
+	}
+}
+
+func TestMoEBeatsUnifiedModels(t *testing.T) {
+	moeModel := moEModel(t, 4)
+	jobs := testJobs(t, "L6", 20)
+	ours := runMix(t, jobs, func() *Dispatcher { return NewMoE(moeModel, rand.New(rand.NewSource(60))) })
+	for _, fam := range memfunc.Families {
+		fam := fam
+		uni := runMix(t, jobs, func() *Dispatcher { return NewUnified(fam, rand.New(rand.NewSource(61))) })
+		if uni.NormalizedSTP > ours.NormalizedSTP*1.05 {
+			t.Errorf("unified %v STP %.2f unexpectedly beats MoE %.2f", fam, uni.NormalizedSTP, ours.NormalizedSTP)
+		}
+	}
+}
+
+func TestMoEBeatsOnlineSearch(t *testing.T) {
+	moeModel := moEModel(t, 5)
+	jobs := testJobs(t, "L6", 30)
+	ours := runMix(t, jobs, func() *Dispatcher { return NewMoE(moeModel, rand.New(rand.NewSource(70))) })
+	online := runMix(t, jobs, func() *Dispatcher { return NewOnlineSearch(rand.New(rand.NewSource(71))) })
+	if online.NormalizedSTP >= ours.NormalizedSTP {
+		t.Errorf("online search STP %.2f should trail MoE %.2f (probing overhead)",
+			online.NormalizedSTP, ours.NormalizedSTP)
+	}
+}
+
+func TestANTTReductionPositiveForCoLocation(t *testing.T) {
+	moeModel := moEModel(t, 6)
+	jobs := testJobs(t, "L8", 40)
+	cmp := runMix(t, jobs, func() *Dispatcher { return NewMoE(moeModel, rand.New(rand.NewSource(80))) })
+	if cmp.ANTTReductionPct <= 0 {
+		t.Errorf("MoE ANTT reduction = %.1f%%, want positive", cmp.ANTTReductionPct)
+	}
+	if cmp.Speedup <= 1 {
+		t.Errorf("MoE makespan speedup = %.2f, want > 1", cmp.Speedup)
+	}
+}
+
+func TestOracleNoOOMKills(t *testing.T) {
+	jobs := testJobs(t, "L8", 50)
+	cmp := runMix(t, jobs, NewOracle)
+	if cmp.OOMKills != 0 {
+		t.Errorf("oracle run had %d OOM kills, want 0 (perfect predictions)", cmp.OOMKills)
+	}
+}
+
+func TestDispatcherRespectsPairwiseCap(t *testing.T) {
+	jobs := testJobs(t, "L8", 60)
+	c := cluster.New(cluster.DefaultConfig())
+	pw := NewPairwise()
+	probe := &capProbe{inner: pw, t: t, maxApps: 2}
+	if _, err := c.Run(jobs, probe); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// capProbe wraps a policy and asserts the per-node app cap after every
+// scheduling round.
+type capProbe struct {
+	inner   *Dispatcher
+	t       *testing.T
+	maxApps int
+}
+
+func (p *capProbe) Name() string { return p.inner.Name() }
+func (p *capProbe) Prepare(c *cluster.Cluster, a *cluster.App) cluster.ProfilePlan {
+	return p.inner.Prepare(c, a)
+}
+func (p *capProbe) Schedule(c *cluster.Cluster) {
+	p.inner.Schedule(c)
+	for _, n := range c.Nodes() {
+		if got := n.AppCount(); got > p.maxApps {
+			p.t.Fatalf("node %d hosts %d apps, cap %d", n.ID, got, p.maxApps)
+		}
+	}
+}
+
+func TestMoEProfilingContributesToOutput(t *testing.T) {
+	// A tiny app whose profiling volume covers the whole input must finish
+	// during profiling.
+	moeModel := moEModel(t, 7)
+	b, err := workload.Find("SP.CoreRDD")
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := []workload.Job{{Bench: b, InputGB: 0.1}}
+	c := cluster.New(cluster.DefaultConfig())
+	res, err := c.Run(jobs, NewMoE(moeModel, rand.New(rand.NewSource(90))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	app := res.Apps[0]
+	if app.State != cluster.StateDone {
+		t.Fatalf("app state %v, want done", app.State)
+	}
+	if app.StartTime >= 0 {
+		t.Errorf("app should have completed during profiling without executors")
+	}
+}

@@ -1,0 +1,100 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Job is one application submission: a benchmark plus an input dataset size.
+type Job struct {
+	Bench   *Benchmark
+	InputGB float64
+}
+
+// String renders the job like the paper's Table 4 rows.
+func (j Job) String() string { return fmt.Sprintf("%s %s", j.Bench.FullName(), sizeLabel(j.InputGB)) }
+
+func sizeLabel(gb float64) string {
+	switch {
+	case gb >= 1000:
+		return "1TB"
+	case gb >= 1:
+		return fmt.Sprintf("%.0fGB", gb)
+	default:
+		return fmt.Sprintf("%.0fMB", gb*1000)
+	}
+}
+
+// InputSizes are the paper's three input scales: small (~300MB), medium
+// (~30GB) and large (~1TB).
+var InputSizes = []float64{0.3, 30, 1000}
+
+// Scenario is one of the paper's runtime scenarios (Table 3).
+type Scenario struct {
+	Label string
+	Apps  int
+}
+
+// Scenarios lists the ten task-mix scenarios of Table 3.
+var Scenarios = []Scenario{
+	{"L1", 2}, {"L2", 6}, {"L3", 7}, {"L4", 9}, {"L5", 11},
+	{"L6", 13}, {"L7", 19}, {"L8", 23}, {"L9", 26}, {"L10", 30},
+}
+
+// ScenarioByLabel returns the scenario with the given label.
+func ScenarioByLabel(label string) (Scenario, error) {
+	for _, s := range Scenarios {
+		if s.Label == label {
+			return s, nil
+		}
+	}
+	return Scenario{}, fmt.Errorf("workload: unknown scenario %q", label)
+}
+
+// RandomMix draws one application mix for a scenario: benchmarks are sampled
+// so that repeated draws cycle through the whole catalogue (the paper makes
+// sure all benchmarks are included in each scenario's ~100 mixes), and each
+// job gets a random input scale.
+func RandomMix(s Scenario, rng *rand.Rand) []Job {
+	cat := Catalog()
+	perm := rng.Perm(len(cat))
+	jobs := make([]Job, 0, s.Apps)
+	for i := 0; i < s.Apps; i++ {
+		b := cat[perm[i%len(cat)]]
+		size := InputSizes[rng.Intn(len(InputSizes))]
+		jobs = append(jobs, Job{Bench: b, InputGB: size})
+	}
+	return jobs
+}
+
+// table4Rows reproduces the paper's Table 4 (the 30-application L10 mix used
+// for Figures 7 and 8), in submission order.
+var table4Rows = []struct {
+	name string
+	gb   float64
+}{
+	{"BDB.Wordcount", 30}, {"SP.Kmeans", 1000}, {"SP.glm-classification", 1000},
+	{"SP.glm-regression", 1000}, {"SP.Pca", 30}, {"SB.SVD++", 1000},
+	{"HB.Scan", 30}, {"HB.TeraSort", 1000}, {"SB.Hive", 1000},
+	{"SP.NaiveBayes", 1000}, {"BDB.PageRank", 1000}, {"HB.PageRank", 30},
+	{"SP.DecisionTree", 30}, {"SP.Spearman", 1000}, {"SB.MatrixFact", 1000},
+	{"BDB.Grep", 1000}, {"SB.LogRegre", 1000}, {"BDB.NaivesBayes", 30},
+	{"BDB.Kmeans", 30}, {"HB.Sort", 1000}, {"SP.CoreRDD", 0.3},
+	{"SP.Gmm", 1000}, {"HB.Join", 1000}, {"SP.Sum.Statis", 30},
+	{"SP.B.MatrixMult", 1000}, {"BDB.Sort", 30}, {"SB.RDDRelation", 1000},
+	{"SP.Pearson", 1000}, {"SP.Chi-sq", 30}, {"HB.Kmeans", 1000},
+}
+
+// Table4Mix returns the exact 30-application mix of the paper's Table 4.
+func Table4Mix() ([]Job, error) {
+	byName := ByFullName()
+	jobs := make([]Job, 0, len(table4Rows))
+	for _, r := range table4Rows {
+		b, ok := byName[r.name]
+		if !ok {
+			return nil, fmt.Errorf("workload: Table 4 references unknown benchmark %q", r.name)
+		}
+		jobs = append(jobs, Job{Bench: b, InputGB: r.gb})
+	}
+	return jobs, nil
+}

@@ -1,0 +1,36 @@
+package workload
+
+// ParsecBenchmark models one PARSEC 3.0 program (native input) used in the
+// Figure 15 interference study: a computation-intensive, share-memory
+// co-runner with a fixed working set and a high CPU demand. Substitution
+// note (DESIGN.md): the study only needs a CPU-hungry co-runner whose
+// slowdown under memory-safe co-location can be measured, which this model
+// provides.
+type ParsecBenchmark struct {
+	Name string
+	// CPULoad is the CPU demand as a fraction of one node (PARSEC programs
+	// use most of the machine with native inputs).
+	CPULoad float64
+	// MemoryGB is the fixed resident working set.
+	MemoryGB float64
+	// RuntimeSec is the isolated wall-clock runtime with native inputs.
+	RuntimeSec float64
+}
+
+// ParsecSuite returns the 12 PARSEC benchmarks of Figure 15.
+func ParsecSuite() []ParsecBenchmark {
+	return []ParsecBenchmark{
+		{Name: "Blackscholes", CPULoad: 0.92, MemoryGB: 1.2, RuntimeSec: 900},
+		{Name: "Bodytrack", CPULoad: 0.85, MemoryGB: 0.8, RuntimeSec: 1100},
+		{Name: "Canneal", CPULoad: 0.78, MemoryGB: 2.5, RuntimeSec: 1300},
+		{Name: "Facesim", CPULoad: 0.88, MemoryGB: 3.1, RuntimeSec: 1500},
+		{Name: "Ferret", CPULoad: 0.90, MemoryGB: 1.0, RuntimeSec: 1200},
+		{Name: "Fluidanimate", CPULoad: 0.86, MemoryGB: 1.5, RuntimeSec: 1400},
+		{Name: "Freqmine", CPULoad: 0.94, MemoryGB: 2.0, RuntimeSec: 1600},
+		{Name: "Raytrace", CPULoad: 0.82, MemoryGB: 1.8, RuntimeSec: 1000},
+		{Name: "Streamcluster", CPULoad: 0.89, MemoryGB: 0.9, RuntimeSec: 1700},
+		{Name: "Swaptions", CPULoad: 0.95, MemoryGB: 0.5, RuntimeSec: 800},
+		{Name: "Vips", CPULoad: 0.80, MemoryGB: 1.1, RuntimeSec: 950},
+		{Name: "X264", CPULoad: 0.91, MemoryGB: 1.4, RuntimeSec: 1050},
+	}
+}

@@ -1,0 +1,284 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"moespark/internal/memfunc"
+)
+
+func TestCatalogHas44Benchmarks(t *testing.T) {
+	cat := Catalog()
+	if len(cat) != 44 {
+		t.Fatalf("catalogue has %d benchmarks, want 44", len(cat))
+	}
+	counts := map[Suite]int{}
+	names := map[string]bool{}
+	for _, b := range cat {
+		counts[b.Suite]++
+		fn := b.FullName()
+		if names[fn] {
+			t.Errorf("duplicate benchmark %q", fn)
+		}
+		names[fn] = true
+		if !b.Truth.Family.Valid() {
+			t.Errorf("%s has invalid memory family", fn)
+		}
+		if b.CPULoad <= 0 || b.CPULoad >= 1 {
+			t.Errorf("%s CPULoad = %v, want (0,1)", fn, b.CPULoad)
+		}
+		if b.ScanRate <= 0 {
+			t.Errorf("%s ScanRate = %v", fn, b.ScanRate)
+		}
+	}
+	if counts[HiBench] != 9 || counts[BigDataBench] != 7 {
+		t.Errorf("training suites: HB=%d BDB=%d, want 9/7", counts[HiBench], counts[BigDataBench])
+	}
+	if counts[SparkPerf] != 18 || counts[SparkBench] != 10 {
+		t.Errorf("unseen suites: SP=%d SB=%d, want 18/10", counts[SparkPerf], counts[SparkBench])
+	}
+}
+
+func TestTrainingSetIs16(t *testing.T) {
+	ts := TrainingSet()
+	if len(ts) != 16 {
+		t.Fatalf("training set has %d benchmarks, want 16", len(ts))
+	}
+	for _, b := range ts {
+		if b.Suite != HiBench && b.Suite != BigDataBench {
+			t.Errorf("%s should not be in the training set", b.FullName())
+		}
+	}
+}
+
+func TestPaperCoefficients(t *testing.T) {
+	byName := ByFullName()
+	sort := byName["HB.Sort"]
+	if sort.Truth.Family != memfunc.Exponential || sort.Truth.M != 5.768 || sort.Truth.B != 4.479 {
+		t.Errorf("HB.Sort curve %v does not match the paper's Figure 3", sort.Truth)
+	}
+	pr := byName["HB.PageRank"]
+	if pr.Truth.Family != memfunc.NapierianLog || pr.Truth.M != 16.333 || pr.Truth.B != 1.79 {
+		t.Errorf("HB.PageRank curve %v does not match the paper's Figure 3", pr.Truth)
+	}
+}
+
+func TestCPULoadDistributionMatchesFig13(t *testing.T) {
+	// Figure 13: CPU load mostly under 40 %, none above 60 %.
+	var under40, total int
+	for _, b := range Catalog() {
+		total++
+		if b.CPULoad < 0.4 {
+			under40++
+		}
+		if b.CPULoad >= 0.6 {
+			t.Errorf("%s CPU load %v >= 0.6, outside Figure 13's range", b.FullName(), b.CPULoad)
+		}
+	}
+	if frac := float64(under40) / float64(total); frac < 0.6 {
+		t.Errorf("only %.0f%% of benchmarks under 40%% CPU, want most", frac*100)
+	}
+}
+
+func TestFootprintsFitNodeAt1TB(t *testing.T) {
+	// Even the hungriest benchmark must fit a 64GB node when its 1TB input
+	// is spread over its executor fleet (otherwise isolated execution would
+	// be infeasible, contradicting the paper's setup).
+	for _, b := range Catalog() {
+		fp := b.Footprint(1000.0 / 16) // 1TB over 16 executors
+		if fp <= 0 || fp > 60 {
+			t.Errorf("%s footprint(62.5GB) = %v, want (0, 60]", b.FullName(), fp)
+		}
+	}
+}
+
+func TestFind(t *testing.T) {
+	b, err := Find("HB.Sort")
+	if err != nil || b.Name != "Sort" {
+		t.Fatalf("Find(HB.Sort) = %v, %v", b, err)
+	}
+	if _, err := Find("XX.Nope"); err == nil {
+		t.Fatal("Find of unknown benchmark must error")
+	}
+}
+
+func TestSignatureDeterministicAndClustered(t *testing.T) {
+	byName := ByFullName()
+	a1 := byName["HB.Sort"].Signature()
+	a2 := byName["HB.Sort"].Signature()
+	if a1 != a2 {
+		t.Error("signature must be deterministic")
+	}
+	// Same family -> close driven features; different family -> far.
+	sortSig := byName["HB.Sort"].Signature()      // exponential
+	grepSig := byName["BDB.Grep"].Signature()     // exponential
+	prSig := byName["HB.PageRank"].Signature()    // log
+	sameDist := math.Abs(sortSig[0] - grepSig[0]) // L1_TCM
+	diffDist := math.Abs(sortSig[0] - prSig[0])
+	if sameDist >= diffDist {
+		t.Errorf("driven feature distances: same-family %v >= cross-family %v", sameDist, diffDist)
+	}
+}
+
+func TestCountersAddNoise(t *testing.T) {
+	b, _ := Find("HB.Sort")
+	rng := rand.New(rand.NewSource(1))
+	c1 := b.Counters(rng)
+	c2 := b.Counters(rng)
+	if c1 == c2 {
+		t.Error("two counter collections should differ by run noise")
+	}
+	sig := b.Signature()
+	for i := range c1 {
+		if math.Abs(c1[i]-sig[i]) > 0.15 {
+			t.Errorf("counter %d deviates too much: %v vs %v", i, c1[i], sig[i])
+		}
+	}
+}
+
+func TestMeasuredFootprintNoiseBounded(t *testing.T) {
+	b, _ := Find("HB.PageRank")
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 100; i++ {
+		x := 10.0
+		y := b.MeasuredFootprint(x, rng)
+		truth := b.Footprint(x)
+		if math.Abs(y-truth)/truth > 0.10 {
+			t.Fatalf("measurement noise too large: %v vs %v", y, truth)
+		}
+	}
+}
+
+func TestCurvePointsSkipNonPositive(t *testing.T) {
+	b, _ := Find("HB.PageRank") // log curve is 0 at tiny x
+	rng := rand.New(rand.NewSource(3))
+	pts := b.CurvePoints([]float64{1e-9, 1, 10}, rng)
+	for _, p := range pts {
+		if p.Y <= 0 {
+			t.Errorf("curve point with non-positive footprint: %+v", p)
+		}
+	}
+	if len(pts) != 2 {
+		t.Errorf("got %d points, want 2 (tiny x dropped)", len(pts))
+	}
+}
+
+func TestEquivalentNames(t *testing.T) {
+	b, _ := Find("HB.Sort")
+	eq := EquivalentNames(b)
+	want := map[string]bool{"BDB.Sort": true, "SP.Sort": true}
+	if len(eq) != 2 || !want[eq[0]] || !want[eq[1]] {
+		t.Errorf("EquivalentNames(HB.Sort) = %v", eq)
+	}
+	solo, _ := Find("SB.Hive")
+	if eq := EquivalentNames(solo); eq != nil {
+		t.Errorf("SB.Hive equivalents = %v, want none", eq)
+	}
+}
+
+func TestScenariosMatchTable3(t *testing.T) {
+	want := map[string]int{
+		"L1": 2, "L2": 6, "L3": 7, "L4": 9, "L5": 11,
+		"L6": 13, "L7": 19, "L8": 23, "L9": 26, "L10": 30,
+	}
+	if len(Scenarios) != len(want) {
+		t.Fatalf("got %d scenarios, want %d", len(Scenarios), len(want))
+	}
+	for _, s := range Scenarios {
+		if want[s.Label] != s.Apps {
+			t.Errorf("%s has %d apps, want %d", s.Label, s.Apps, want[s.Label])
+		}
+	}
+	if _, err := ScenarioByLabel("L10"); err != nil {
+		t.Error(err)
+	}
+	if _, err := ScenarioByLabel("L99"); err == nil {
+		t.Error("unknown label must error")
+	}
+}
+
+func TestRandomMixProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	s, _ := ScenarioByLabel("L8")
+	jobs := RandomMix(s, rng)
+	if len(jobs) != s.Apps {
+		t.Fatalf("mix has %d jobs, want %d", len(jobs), s.Apps)
+	}
+	validSize := map[float64]bool{0.3: true, 30: true, 1000: true}
+	seen := map[string]bool{}
+	for _, j := range jobs {
+		if !validSize[j.InputGB] {
+			t.Errorf("job %v has unexpected size", j)
+		}
+		seen[j.Bench.FullName()] = true
+	}
+	// 23 draws from a 44-benchmark permutation must be 23 distinct programs.
+	if len(seen) != s.Apps {
+		t.Errorf("mix has %d distinct benchmarks, want %d", len(seen), s.Apps)
+	}
+}
+
+func TestRandomMixCoversCatalogueOverDraws(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	s, _ := ScenarioByLabel("L5")
+	seen := map[string]bool{}
+	for i := 0; i < 40; i++ {
+		for _, j := range RandomMix(s, rng) {
+			seen[j.Bench.FullName()] = true
+		}
+	}
+	if len(seen) != 44 {
+		t.Errorf("40 mixes cover %d benchmarks, want all 44", len(seen))
+	}
+}
+
+func TestTable4Mix(t *testing.T) {
+	jobs, err := Table4Mix()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 30 {
+		t.Fatalf("Table 4 mix has %d jobs, want 30", len(jobs))
+	}
+	if jobs[0].String() != "BDB.Wordcount 30GB" {
+		t.Errorf("first job = %q", jobs[0].String())
+	}
+	if jobs[20].String() != "SP.CoreRDD 300MB" {
+		t.Errorf("job 21 = %q, want SP.CoreRDD 300MB", jobs[20].String())
+	}
+	if jobs[29].String() != "HB.Kmeans 1TB" {
+		t.Errorf("last job = %q", jobs[29].String())
+	}
+}
+
+func TestParsecSuite(t *testing.T) {
+	ps := ParsecSuite()
+	if len(ps) != 12 {
+		t.Fatalf("PARSEC suite has %d entries, want 12", len(ps))
+	}
+	for _, p := range ps {
+		if p.CPULoad < 0.7 || p.CPULoad > 1 {
+			t.Errorf("%s CPU load %v not computation-intensive", p.Name, p.CPULoad)
+		}
+		if p.MemoryGB <= 0 || p.RuntimeSec <= 0 {
+			t.Errorf("%s has non-positive resources", p.Name)
+		}
+	}
+}
+
+func TestBestFitRecoversCatalogueFamilies(t *testing.T) {
+	// The offline training procedure must label every benchmark with its
+	// true family from noisy sweep measurements.
+	rng := rand.New(rand.NewSource(6))
+	for _, b := range Catalog() {
+		pts := b.CurvePoints(TrainingSweep, rng)
+		fit, err := memfunc.BestFit(pts)
+		if err != nil {
+			t.Fatalf("%s: BestFit: %v", b.FullName(), err)
+		}
+		if fit.Func.Family != b.Truth.Family {
+			t.Errorf("%s labelled %v, truth %v", b.FullName(), fit.Func.Family, b.Truth.Family)
+		}
+	}
+}

@@ -1,0 +1,181 @@
+// Package moespark is a Go reproduction of "Improving Spark Application
+// Throughput Via Memory Aware Task Co-location: A Mixture of Experts
+// Approach" (Marco, Taylor, Porter, Wang — Middleware '17).
+//
+// The package re-exports the user-facing API of the reproduction:
+//
+//   - a mixture-of-experts memory-footprint predictor (Train / Predictor),
+//   - the memory-function experts themselves (curve families, fitting,
+//     two-point calibration),
+//   - a discrete-event simulator of the paper's 40-node Spark/YARN testbed,
+//   - the paper's co-location schedulers (Pairwise, Quasar, MoE, Oracle,
+//     OnlineSearch, unified single-model baselines), and
+//   - the evaluation harness that regenerates every table and figure of the
+//     paper (see internal/experiments and cmd/reproduce).
+//
+// Quick start:
+//
+//	rng := rand.New(rand.NewSource(1))
+//	model, err := moespark.TrainDefaultModel(rng)
+//	...
+//	sim := moespark.NewCluster(moespark.DefaultClusterConfig())
+//	res, err := sim.Run(jobs, moespark.NewMoEScheduler(model, rng))
+//
+// See examples/ for complete programs.
+package moespark
+
+import (
+	"io"
+	"math/rand"
+
+	"moespark/internal/cluster"
+	"moespark/internal/memfunc"
+	"moespark/internal/metrics"
+	"moespark/internal/moe"
+	"moespark/internal/sched"
+	"moespark/internal/workload"
+)
+
+// Re-exported core types. The heavy lifting lives in internal packages; the
+// aliases below are the stable public surface.
+type (
+	// Model is a trained mixture-of-experts memory predictor.
+	Model = moe.Model
+	// ModelConfig controls training (K, PCA settings, confidence factor).
+	ModelConfig = moe.Config
+	// TrainingProgram is one offline training example.
+	TrainingProgram = moe.TrainingProgram
+	// Prediction is a calibrated memory function for one application.
+	Prediction = moe.Prediction
+
+	// MemoryFunc is an instantiated memory-function expert.
+	MemoryFunc = memfunc.Func
+	// MemoryFamily enumerates the expert families.
+	MemoryFamily = memfunc.Family
+	// ProfilePoint is one (input size, footprint) profiling observation.
+	ProfilePoint = memfunc.Point
+
+	// Benchmark is a synthetic Spark application model.
+	Benchmark = workload.Benchmark
+	// Job is one application submission (benchmark + input size).
+	Job = workload.Job
+
+	// Cluster is the discrete-event simulator of the evaluation platform.
+	Cluster = cluster.Cluster
+	// ClusterConfig describes the simulated platform.
+	ClusterConfig = cluster.Config
+	// Scheduler is a co-location policy driving the simulator.
+	Scheduler = cluster.Scheduler
+	// Result summarises a simulation run.
+	Result = cluster.Result
+
+	// RunMetrics holds the paper's STP / ANTT metrics for one run.
+	RunMetrics = metrics.RunMetrics
+	// Comparison sets a run against the serial isolated baseline.
+	Comparison = metrics.Comparison
+)
+
+// Expert families (Table 1 of the paper).
+const (
+	LinearPower  = memfunc.LinearPower
+	Exponential  = memfunc.Exponential
+	NapierianLog = memfunc.NapierianLog
+)
+
+// TrainModel trains a mixture-of-experts predictor on arbitrary training
+// programs.
+func TrainModel(programs []TrainingProgram, cfg ModelConfig) (*Model, error) {
+	return moe.Train(programs, cfg)
+}
+
+// TrainDefaultModel trains on the paper's 16 HiBench + BigDataBench
+// programs.
+func TrainDefaultModel(rng *rand.Rand) (*Model, error) {
+	return moe.TrainDefault(rng)
+}
+
+// SaveModel serialises a trained model's deployable artefacts (scaler
+// bounds, PCA matrix, labelled programs) as JSON.
+func SaveModel(m *Model, w io.Writer) error { return m.Save(w) }
+
+// LoadModel reconstructs a model saved with SaveModel.
+func LoadModel(r io.Reader) (*Model, error) { return moe.Load(r) }
+
+// Replay is the paper's measurement protocol: repeat a run until the 95 %
+// confidence interval of mean STP is within 5 % of the mean.
+type Replay = metrics.Replay
+
+// ReplayOutcome reports a converged replayed measurement.
+type ReplayOutcome = metrics.ReplayOutcome
+
+// BestFit fits all expert families to profiling points and returns the best,
+// the offline labelling step of training.
+func BestFit(points []ProfilePoint) (memfunc.Fit, error) { return memfunc.BestFit(points) }
+
+// Calibrate instantiates one family's coefficients from two profiling
+// observations (the paper's 5 %/10 % runs).
+func Calibrate(family MemoryFamily, p1, p2 ProfilePoint) (MemoryFunc, error) {
+	return memfunc.Calibrate(family, p1, p2)
+}
+
+// BenchmarkCatalog returns the 44-benchmark evaluation catalogue.
+func BenchmarkCatalog() []*Benchmark { return workload.Catalog() }
+
+// FindBenchmark looks a benchmark up by suite-qualified name (e.g.
+// "HB.Sort").
+func FindBenchmark(name string) (*Benchmark, error) { return workload.Find(name) }
+
+// Table4Mix returns the paper's 30-application mix (Table 4).
+func Table4Mix() ([]Job, error) { return workload.Table4Mix() }
+
+// DefaultClusterConfig returns the paper's 40-node platform.
+func DefaultClusterConfig() ClusterConfig { return cluster.DefaultConfig() }
+
+// NewCluster creates an idle simulated cluster.
+func NewCluster(cfg ClusterConfig) *Cluster { return cluster.New(cfg) }
+
+// Scheduler constructors for the paper's comparative schemes.
+func NewIsolatedScheduler() Scheduler { return sched.NewIsolated() }
+
+// NewPairwiseScheduler returns the pairwise co-location baseline.
+func NewPairwiseScheduler() Scheduler { return sched.NewPairwise() }
+
+// NewMoEScheduler returns the paper's scheme backed by a trained model.
+func NewMoEScheduler(model *Model, rng *rand.Rand) Scheduler { return sched.NewMoE(model, rng) }
+
+// NewOracleScheduler returns the ideal-predictor scheme.
+func NewOracleScheduler() Scheduler { return sched.NewOracle() }
+
+// NewOnlineSearchScheduler returns the gradient-probing baseline.
+func NewOnlineSearchScheduler(rng *rand.Rand) Scheduler { return sched.NewOnlineSearch(rng) }
+
+// QuasarModel is the classification-based comparator's workload index.
+type QuasarModel = sched.QuasarModel
+
+// TrainQuasarModel builds the Quasar comparator from the paper's training
+// benchmarks.
+func TrainQuasarModel(rng *rand.Rand) (*QuasarModel, error) {
+	return sched.TrainQuasar(workload.TrainingSet(), rng)
+}
+
+// NewQuasarScheduler returns the Quasar comparator scheme.
+func NewQuasarScheduler(model *QuasarModel, rng *rand.Rand) Scheduler {
+	return sched.NewQuasar(model, rng)
+}
+
+// NewUnifiedScheduler returns a single-family baseline scheme (Figure 9).
+func NewUnifiedScheduler(family MemoryFamily, rng *rand.Rand) Scheduler {
+	return sched.NewUnified(family, rng)
+}
+
+// Measure computes the paper's metrics for a finished run.
+func Measure(c *Cluster, res *Result) (RunMetrics, error) { return metrics.FromResult(c, res) }
+
+// CompareToSerial sets a run against the serial isolated-execution baseline.
+func CompareToSerial(c *Cluster, res *Result, jobs []Job) (Comparison, error) {
+	run, err := metrics.FromResult(c, res)
+	if err != nil {
+		return Comparison{}, err
+	}
+	return metrics.Compare(run, metrics.SerialBaseline(c, jobs)), nil
+}

@@ -1,0 +1,145 @@
+package moespark
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// TestFacadeEndToEnd exercises the public API exactly as the README's quick
+// start does: train, predict, schedule, measure.
+func TestFacadeEndToEnd(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	model, err := TrainDefaultModel(rng)
+	if err != nil {
+		t.Fatalf("TrainDefaultModel: %v", err)
+	}
+
+	b, err := FindBenchmark("SP.Kmeans")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred, err := model.Predict(b.Counters(rng), b.ProfilePoint(1, rng), b.ProfilePoint(4, rng))
+	if err != nil {
+		t.Fatalf("Predict: %v", err)
+	}
+	if pred.Func.Family != b.Truth.Family {
+		t.Errorf("predicted family %v, truth %v", pred.Func.Family, b.Truth.Family)
+	}
+
+	jobs := []Job{
+		{Bench: b, InputGB: 30},
+		{Bench: mustFind(t, "HB.Sort"), InputGB: 100},
+		{Bench: mustFind(t, "BDB.Grep"), InputGB: 30},
+	}
+	sim := NewCluster(DefaultClusterConfig())
+	res, err := sim.Run(jobs, NewMoEScheduler(model, rng))
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	cmp, err := CompareToSerial(sim, res, jobs)
+	if err != nil {
+		t.Fatalf("CompareToSerial: %v", err)
+	}
+	if cmp.NormalizedSTP <= 1 {
+		t.Errorf("co-locating 3 jobs should beat serial execution, STP = %v", cmp.NormalizedSTP)
+	}
+}
+
+func mustFind(t *testing.T, name string) *Benchmark {
+	t.Helper()
+	b, err := FindBenchmark(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestFacadeCalibration(t *testing.T) {
+	fn, err := Calibrate(NapierianLog, ProfilePoint{X: 1, Y: 16.3}, ProfilePoint{X: 4, Y: 18.8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fn.Family != NapierianLog {
+		t.Errorf("family %v", fn.Family)
+	}
+	if _, err := BestFit(nil); err == nil {
+		t.Error("BestFit(nil) must error")
+	}
+}
+
+func TestFacadeCatalog(t *testing.T) {
+	if got := len(BenchmarkCatalog()); got != 44 {
+		t.Errorf("catalogue size %d, want 44", got)
+	}
+	jobs, err := Table4Mix()
+	if err != nil || len(jobs) != 30 {
+		t.Errorf("Table4Mix: %d jobs, %v", len(jobs), err)
+	}
+	if _, err := FindBenchmark("nope"); err == nil {
+		t.Error("unknown benchmark must error")
+	}
+}
+
+func TestFacadeSchedulers(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	model, err := TrainDefaultModel(rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []Scheduler{
+		NewIsolatedScheduler(),
+		NewPairwiseScheduler(),
+		NewMoEScheduler(model, rng),
+		NewOracleScheduler(),
+		NewOnlineSearchScheduler(rng),
+	} {
+		if s.Name() == "" {
+			t.Error("scheduler without a name")
+		}
+	}
+}
+
+func TestFacadeQuasarAndUnified(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	q, err := TrainQuasarModel(rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := []Job{
+		{Bench: mustFind(t, "HB.Sort"), InputGB: 30},
+		{Bench: mustFind(t, "SP.Pca"), InputGB: 30},
+	}
+	for _, s := range []Scheduler{
+		NewQuasarScheduler(q, rng),
+		NewUnifiedScheduler(NapierianLog, rng),
+	} {
+		sim := NewCluster(DefaultClusterConfig())
+		res, err := sim.Run(jobs, s)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+		if res.MakespanSec <= 0 {
+			t.Errorf("%s: empty run", s.Name())
+		}
+	}
+}
+
+func TestFacadeModelPersistence(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	m, err := TrainDefaultModel(rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := SaveModel(m, &buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadModel(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded.Programs()) != len(m.Programs()) {
+		t.Error("persistence lost programs")
+	}
+}
