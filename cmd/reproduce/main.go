@@ -7,7 +7,8 @@
 //	reproduce -list               # list experiment ids
 //
 // Experiment ids: fig3 fig4 fig6 fig7 fig9 fig10 fig11 fig12 fig13 fig14
-// fig15 fig16 fig17 fig18 table5.
+// fig15 fig16 fig17 fig18 table5 opensys (the open-system queueing study,
+// beyond the paper).
 package main
 
 import (
@@ -92,15 +93,23 @@ func runners() []runner {
 		{"table5", one(func(ctx experiments.Context) (interface{ Table() experiments.Table }, error) {
 			return experiments.Table5(ctx)
 		})},
+		{"opensys", func(ctx experiments.Context) ([]experiments.Table, error) {
+			r, err := experiments.OpenSystem(ctx)
+			if err != nil {
+				return nil, err
+			}
+			return r.Tables(), nil
+		}},
 	}
 }
 
 func main() {
 	var (
-		exp   = flag.String("exp", "all", "experiment id (or \"all\")")
-		mixes = flag.Int("mixes", 20, "application mixes per scenario (paper: ~100)")
-		seed  = flag.Int64("seed", 1, "random seed")
-		list  = flag.Bool("list", false, "list experiment ids and exit")
+		exp     = flag.String("exp", "all", "experiment id (or \"all\")")
+		mixes   = flag.Int("mixes", 20, "application mixes per scenario (paper: ~100)")
+		seed    = flag.Int64("seed", 1, "random seed")
+		workers = flag.Int("workers", 0, "experiment worker pool (0 = one per CPU; results identical at any width)")
+		list    = flag.Bool("list", false, "list experiment ids and exit")
 	)
 	flag.Parse()
 
@@ -117,6 +126,7 @@ func main() {
 	ctx := experiments.DefaultContext()
 	ctx.Seed = *seed
 	ctx.MixesPerScenario = *mixes
+	ctx.Workers = *workers
 
 	ran := false
 	for _, r := range rs {

@@ -64,6 +64,27 @@ func main() {
 	}
 	fmt.Printf("\nco-located %d jobs: STP %.2f, ANTT reduction %.1f%%, makespan speedup %.2fx\n",
 		len(jobs), cmp.NormalizedSTP, cmp.ANTTReductionPct, cmp.Speedup)
+
+	// 4. Open system: stream 40 jobs at 80/hour through the event engine
+	//    and read the queueing metrics instead of batch STP.
+	arrivals, err := moespark.PoissonArrivals(40, 80.0/3600, rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+	openSim := moespark.NewCluster(moespark.DefaultClusterConfig())
+	openRes, err := openSim.RunOpen(
+		moespark.SubmissionsFromArrivals(arrivals),
+		moespark.NewMoEScheduler(model, rng),
+	)
+	if err != nil {
+		log.Fatalf("open-system simulation: %v", err)
+	}
+	q, err := moespark.MeasureQueueing(openRes, 600)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("open system (80 jobs/hour): mean wait %.0fs, p95 sojourn %.0fs, %.1f jobs/hour served\n",
+		q.MeanWaitSec, q.P95SojournSec, q.ThroughputJobsPerHour)
 }
 
 func mustFind(name string) *moespark.Benchmark {

@@ -1,0 +1,3 @@
+module moespark
+
+go 1.24

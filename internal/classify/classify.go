@@ -12,6 +12,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+
+	"moespark/internal/parallel"
 )
 
 // Sample is one labelled training observation.
@@ -114,24 +116,45 @@ func (s standardizer) apply(x []float64) []float64 {
 // cross-validation, the protocol the paper uses for Table 5 and Figure 17.
 // The factory must return a fresh, unfitted classifier on every call.
 func LeaveOneOutAccuracy(factory func() Classifier, samples []Sample) (float64, error) {
+	return LeaveOneOutAccuracyParallel(factory, samples, 1)
+}
+
+// LeaveOneOutAccuracyParallel is LeaveOneOutAccuracy fanned out over a pool
+// of workers. Folds are independent — every factory call returns a fresh
+// classifier with its own seeded rng — so the accuracy is identical to the
+// serial evaluation for any worker count. workers <= 1 runs serially.
+func LeaveOneOutAccuracyParallel(factory func() Classifier, samples []Sample, workers int) (float64, error) {
 	if len(samples) < 2 {
 		return 0, ErrNoSamples
 	}
-	correct := 0
-	train := make([]Sample, 0, len(samples)-1)
-	for i := range samples {
-		train = train[:0]
+	fold := func(i int) (bool, error) {
+		train := make([]Sample, 0, len(samples)-1)
 		train = append(train, samples[:i]...)
 		train = append(train, samples[i+1:]...)
 		c := factory()
 		if err := c.Fit(train); err != nil {
-			return 0, fmt.Errorf("classify: LOOCV fold %d: %w", i, err)
+			return false, fmt.Errorf("classify: LOOCV fold %d: %w", i, err)
 		}
 		pred, err := c.Predict(samples[i].X)
 		if err != nil {
-			return 0, fmt.Errorf("classify: LOOCV fold %d predict: %w", i, err)
+			return false, fmt.Errorf("classify: LOOCV fold %d predict: %w", i, err)
 		}
-		if pred == samples[i].Label {
+		return pred == samples[i].Label, nil
+	}
+	hits := make([]bool, len(samples))
+	if err := parallel.ForEachIndexed(workers, len(samples), func(i int) error {
+		ok, err := fold(i)
+		if err != nil {
+			return err
+		}
+		hits[i] = ok
+		return nil
+	}); err != nil {
+		return 0, err
+	}
+	correct := 0
+	for _, ok := range hits {
+		if ok {
 			correct++
 		}
 	}

@@ -386,3 +386,32 @@ func TestANNRegressorConstantTarget(t *testing.T) {
 		t.Errorf("constant target predict = %v, want ~7", got)
 	}
 }
+
+// TestLeaveOneOutParallelMatchesSerial pins the concurrency contract: folds
+// are independent, so any worker count yields the serial accuracy.
+func TestLeaveOneOutParallelMatchesSerial(t *testing.T) {
+	r := rand.New(rand.NewSource(44))
+	samples := threeBlobs(r, 18, 4, 0.6)
+	reg := Registry(99)
+	// KNN is deterministic by construction; MLP is the heaviest seeded
+	// learner — together they cover both classes of factory.
+	for _, name := range []string{"KNN", "MLP"} {
+		factory := reg[name]
+		serial, err := LeaveOneOutAccuracyParallel(factory, samples, 1)
+		if err != nil {
+			t.Fatalf("%s serial: %v", name, err)
+		}
+		for _, workers := range []int{2, 8} {
+			par, err := LeaveOneOutAccuracyParallel(factory, samples, workers)
+			if err != nil {
+				t.Fatalf("%s workers=%d: %v", name, workers, err)
+			}
+			if par != serial {
+				t.Errorf("%s: workers=%d accuracy %v != serial %v", name, workers, par, serial)
+			}
+		}
+	}
+	if _, err := LeaveOneOutAccuracyParallel(func() Classifier { return NewKNN(1) }, samples[:1], 4); !errors.Is(err, ErrNoSamples) {
+		t.Errorf("short sample set: %v", err)
+	}
+}

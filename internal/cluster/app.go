@@ -99,6 +99,31 @@ func (a *App) Turnaround() float64 {
 	return a.DoneTime - a.SubmitTime
 }
 
+// SojournSec is the open-system name for the turnaround: total time the
+// application spent in the system from submission to completion.
+func (a *App) SojournSec() float64 { return a.Turnaround() }
+
+// WaitSec returns the time between submission and the start of useful
+// execution: the first executor spawn, or completion when the app finished
+// entirely during profiling. It is -1 until execution has started.
+func (a *App) WaitSec() float64 {
+	var w float64
+	switch {
+	case a.StartTime >= 0:
+		w = a.StartTime - a.SubmitTime
+	case a.DoneTime >= 0:
+		w = a.DoneTime - a.SubmitTime
+	default:
+		return -1
+	}
+	if w < 0 {
+		// Arrival admission tolerates ~1e-9s of clock slack (an app can be
+		// admitted epsilon-early); never report a negative wait for it.
+		return 0
+	}
+	return w
+}
+
 // BlockedOn reports whether the node is blacklisted for this app after an
 // OOM kill.
 func (a *App) BlockedOn(n *Node) bool { return a.blockedNodes[n.ID] }

@@ -1,0 +1,53 @@
+package cluster
+
+import (
+	"math/rand"
+	"testing"
+
+	"moespark/internal/workload"
+)
+
+// BenchmarkOpenSystemEngine times the event-engine hot loop (nextEventDt /
+// advance / admitArrivals) under a 200-application open-system run with
+// Poisson arrivals: the baseline for future engine optimizations such as an
+// indexed event queue. The scheduler is deliberately trivial so the engine
+// dominates the profile.
+func BenchmarkOpenSystemEngine(b *testing.B) {
+	arrivals, err := workload.PoissonArrivals(200, 0.05, rand.New(rand.NewSource(1)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	subs := Submissions(arrivals)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := New(DefaultConfig())
+		res, err := c.RunOpen(subs, fullSpeedScheduler{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Apps) != 200 {
+			b.Fatalf("%d apps completed, want 200", len(res.Apps))
+		}
+	}
+}
+
+// BenchmarkClosedBatchEngine is the closed-batch counterpart on the same
+// 200-job set, isolating the cost of arrival handling from the rest of the
+// loop.
+func BenchmarkClosedBatchEngine(b *testing.B) {
+	arrivals, err := workload.PoissonArrivals(200, 0.05, rand.New(rand.NewSource(1)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	jobs := make([]workload.Job, len(arrivals))
+	for i, a := range arrivals {
+		jobs[i] = a.Job
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := New(DefaultConfig())
+		if _, err := c.Run(jobs, fullSpeedScheduler{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

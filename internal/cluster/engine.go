@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sort"
 
 	"moespark/internal/workload"
 )
@@ -45,6 +46,7 @@ type Cluster struct {
 	cfg     Config
 	nodes   []*Node
 	apps    []*App
+	pending []Submission
 	foreign []*ForeignTask
 	now     float64
 	trace   *Trace
@@ -176,7 +178,12 @@ func (c *Cluster) Spawn(app *App, node *Node, reserveGB, itemsGB float64) (*Exec
 	app.Executors = append(app.Executors, e)
 	if app.State == StateReady {
 		app.State = StateRunning
-		app.StartTime = c.now
+		if app.StartTime < 0 {
+			// First executor only: a respawn after an OOM kill must not
+			// rewrite the app's recorded execution start (WaitSec feeds the
+			// open-system queueing metrics).
+			app.StartTime = c.now
+		}
 		app.startupUntil = c.now + c.cfg.StartupSec
 	}
 	return e, nil
@@ -249,41 +256,59 @@ type Result struct {
 // maxEvents bounds the event loop against policy bugs.
 const maxEvents = 2_000_000
 
+// Submission is one timed job arrival: the job enters the cluster's queue at
+// time At (seconds). A slice of Submissions is the event source of the
+// open-system engine; the closed-batch Run is the special case where every
+// At is zero.
+type Submission struct {
+	At  float64
+	Job workload.Job
+}
+
+// Submissions lifts a workload arrival stream into engine submissions.
+func Submissions(arrivals []workload.Arrival) []Submission {
+	subs := make([]Submission, len(arrivals))
+	for i, a := range arrivals {
+		subs[i] = Submission{At: a.At, Job: a.Job}
+	}
+	return subs
+}
+
 // Run submits the jobs at time zero (FCFS order) and simulates until every
-// application and foreign task completes.
+// application and foreign task completes. It is a thin closed-batch wrapper
+// over RunOpen.
 func (c *Cluster) Run(jobs []workload.Job, sched Scheduler) (*Result, error) {
-	if len(jobs) == 0 && len(c.foreign) == 0 {
+	subs := make([]Submission, len(jobs))
+	for i, job := range jobs {
+		subs[i] = Submission{At: 0, Job: job}
+	}
+	return c.RunOpen(subs, sched)
+}
+
+// RunOpen consumes a stream of timed submissions and simulates until every
+// application and foreign task completes. Each application enters the queue
+// at its submission time: the policy's Prepare fires on arrival (not at t=0),
+// profiling runs from there, and the recorded SubmitTime yields real per-app
+// waiting times. Submissions may be given in any order; ties keep their
+// original order (FCFS among simultaneous arrivals).
+func (c *Cluster) RunOpen(subs []Submission, sched Scheduler) (*Result, error) {
+	if len(subs) == 0 && len(c.foreign) == 0 {
 		return nil, errors.New("cluster: nothing to run")
 	}
-	c.apps = make([]*App, len(jobs))
-	for i, job := range jobs {
-		app := &App{
-			ID: i, Job: job,
-			SubmitTime: 0, ReadyTime: -1, StartTime: -1, DoneTime: -1,
-			RemainingGB:  job.InputGB,
-			MaxExecutors: c.cfg.NodesFor(job.InputGB),
-			State:        StateQueued,
-		}
-		c.apps[i] = app
-	}
-	for _, app := range c.apps {
-		plan := sched.Prepare(c, app)
-		if plan.VolumeGB < 0 || plan.ContributesGB < 0 || plan.ContributesGB > plan.VolumeGB+1e-9 {
-			return nil, fmt.Errorf("cluster: %s returned invalid profiling plan %+v", sched.Name(), plan)
-		}
-		if plan.ContributesGB > app.RemainingGB {
-			plan.ContributesGB = app.RemainingGB
-		}
-		app.ProfileGB = plan.VolumeGB
-		app.ContributeGB = plan.ContributesGB
-		app.profileLeft = plan.VolumeGB
-		if plan.VolumeGB == 0 {
-			app.State = StateReady
-			app.ReadyTime = 0
+	for _, s := range subs {
+		if s.At < 0 || math.IsNaN(s.At) || math.IsInf(s.At, 0) {
+			return nil, fmt.Errorf("cluster: invalid submission time %v", s.At)
 		}
 	}
+	c.pending = make([]Submission, len(subs))
+	copy(c.pending, subs)
+	sort.SliceStable(c.pending, func(i, j int) bool { return c.pending[i].At < c.pending[j].At })
+	c.apps = make([]*App, 0, len(subs))
 
 	for ev := 0; ev < maxEvents; ev++ {
+		if err := c.admitArrivals(sched); err != nil {
+			return nil, err
+		}
 		if c.allDone() {
 			return c.result(), nil
 		}
@@ -299,7 +324,48 @@ func (c *Cluster) Run(jobs []workload.Job, sched Scheduler) (*Result, error) {
 	return nil, fmt.Errorf("cluster: exceeded %d events under %s", maxEvents, sched.Name())
 }
 
+// admitArrivals moves every submission whose time has come into the cluster.
+// All apps arriving at the same instant are registered (visible via Apps())
+// before any of their Prepare calls fire, preserving the pre-refactor
+// closed-batch semantics where a policy's Prepare could inspect the whole
+// batch; profiling plans are then gathered in arrival order.
+func (c *Cluster) admitArrivals(sched Scheduler) error {
+	const eps = 1e-9
+	first := len(c.apps)
+	for len(c.pending) > 0 && c.pending[0].At <= c.now+eps {
+		sub := c.pending[0]
+		c.pending = c.pending[1:]
+		c.apps = append(c.apps, &App{
+			ID: len(c.apps), Job: sub.Job,
+			SubmitTime: sub.At, ReadyTime: -1, StartTime: -1, DoneTime: -1,
+			RemainingGB:  sub.Job.InputGB,
+			MaxExecutors: c.cfg.NodesFor(sub.Job.InputGB),
+			State:        StateQueued,
+		})
+	}
+	for _, app := range c.apps[first:] {
+		plan := sched.Prepare(c, app)
+		if plan.VolumeGB < 0 || plan.ContributesGB < 0 || plan.ContributesGB > plan.VolumeGB+1e-9 {
+			return fmt.Errorf("cluster: %s returned invalid profiling plan %+v", sched.Name(), plan)
+		}
+		if plan.ContributesGB > app.RemainingGB {
+			plan.ContributesGB = app.RemainingGB
+		}
+		app.ProfileGB = plan.VolumeGB
+		app.ContributeGB = plan.ContributesGB
+		app.profileLeft = plan.VolumeGB
+		if plan.VolumeGB == 0 {
+			app.State = StateReady
+			app.ReadyTime = c.now
+		}
+	}
+	return nil
+}
+
 func (c *Cluster) allDone() bool {
+	if len(c.pending) > 0 {
+		return false
+	}
 	for _, a := range c.apps {
 		if a.State != StateDone {
 			return false
@@ -453,6 +519,11 @@ func (c *Cluster) nextEventDt() (float64, bool) {
 			if dt := f.remaining / f.rate; dt < best {
 				best = dt
 			}
+		}
+	}
+	if len(c.pending) > 0 {
+		if dt := c.pending[0].At - c.now; dt < best {
+			best = dt
 		}
 	}
 	if c.trace != nil {

@@ -122,7 +122,10 @@ func Table5(ctx Context) (Table5Result, error) {
 	var out Table5Result
 	for _, name := range classify.RegistryNames() {
 		factory := reg[name]
-		acc, err := classify.LeaveOneOutAccuracy(factory, samples)
+		// LOOCV folds are independent (each factory call builds a fresh,
+		// identically-seeded classifier), so fanning them out keeps the
+		// accuracy identical to a serial evaluation.
+		acc, err := classify.LeaveOneOutAccuracyParallel(factory, samples, ctx.workers())
 		if err != nil {
 			return Table5Result{}, fmt.Errorf("experiments: table5 %s: %w", name, err)
 		}

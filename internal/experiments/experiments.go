@@ -21,6 +21,11 @@ type Context struct {
 	// MixesPerScenario is how many application mixes are drawn per runtime
 	// scenario (the paper uses ~100; smaller values keep runs quick).
 	MixesPerScenario int
+	// Workers bounds the concurrent experiment runner's worker pool; 0 uses
+	// one worker per CPU. Any worker count produces results bit-identical to
+	// the serial path (Workers = 1): every parallel unit derives its
+	// randomness from per-index seeds and writes to index-addressed slots.
+	Workers int
 	// Cfg is the simulated platform.
 	Cfg cluster.Config
 }

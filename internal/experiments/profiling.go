@@ -55,23 +55,42 @@ func Fig11(ctx Context) (Fig11Result, error) {
 	if err != nil {
 		return Fig11Result{}, err
 	}
+	// One unit per (scenario, mix); per-app contributions are kept in order
+	// and folded serially afterwards so the result matches the serial loop
+	// bit-for-bit.
+	type appSplit struct{ feat, calib, turn float64 }
+	mixes := ctx.MixesPerScenario
+	splits := make([][]appSplit, len(workload.Scenarios)*mixes)
+	err = forEachIndexed(ctx.workers(), len(splits), func(item int) error {
+		si, mix := item/mixes, item%mixes
+		sc := workload.Scenarios[si]
+		mixSeed := ctx.Seed*999_983 + int64(si)*733 + int64(mix)
+		jobs := workload.RandomMix(sc, rand.New(rand.NewSource(mixSeed)))
+		c := cluster.New(ctx.Cfg)
+		res, err := c.Run(jobs, sched.NewMoE(moeModel, rand.New(rand.NewSource(mixSeed+7))))
+		if err != nil {
+			return fmt.Errorf("experiments: fig11 %s: %w", sc.Label, err)
+		}
+		rows := make([]appSplit, 0, len(res.Apps))
+		for _, a := range res.Apps {
+			f, cal := profilingSplit(a, ctx.Cfg)
+			rows = append(rows, appSplit{feat: f, calib: cal, turn: a.Turnaround()})
+		}
+		splits[item] = rows
+		return nil
+	})
+	if err != nil {
+		return Fig11Result{}, err
+	}
 	var out Fig11Result
 	for si, sc := range workload.Scenarios {
 		var feat, calib, total float64
 		var n int
-		for mix := 0; mix < ctx.MixesPerScenario; mix++ {
-			mixSeed := ctx.Seed*999_983 + int64(si)*733 + int64(mix)
-			jobs := workload.RandomMix(sc, rand.New(rand.NewSource(mixSeed)))
-			c := cluster.New(ctx.Cfg)
-			res, err := c.Run(jobs, sched.NewMoE(moeModel, rand.New(rand.NewSource(mixSeed+7))))
-			if err != nil {
-				return Fig11Result{}, fmt.Errorf("experiments: fig11 %s: %w", sc.Label, err)
-			}
-			for _, a := range res.Apps {
-				f, cal := profilingSplit(a, ctx.Cfg)
-				feat += f
-				calib += cal
-				total += a.Turnaround()
+		for mix := 0; mix < mixes; mix++ {
+			for _, s := range splits[si*mixes+mix] {
+				feat += s.feat
+				calib += s.calib
+				total += s.turn
 				n++
 			}
 		}

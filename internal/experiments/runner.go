@@ -1,0 +1,23 @@
+package experiments
+
+import (
+	"runtime"
+
+	"moespark/internal/parallel"
+)
+
+// workers resolves the experiment worker-pool width: Context.Workers when
+// set, else one worker per available CPU.
+func (c Context) workers() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// forEachIndexed fans the per-mix scenario loops out across cores; see
+// parallel.ForEachIndexed for the determinism contract that keeps parallel
+// runs bit-identical to serial ones.
+func forEachIndexed(workers, n int, fn func(i int) error) error {
+	return parallel.ForEachIndexed(workers, n, fn)
+}

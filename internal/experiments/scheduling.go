@@ -63,25 +63,46 @@ func standardSchemes(ctx Context) (schemeSet, error) {
 }
 
 // runScenarios evaluates each scheme on MixesPerScenario mixes per scenario.
+// The (scenario, mix) units fan out over the concurrent runner; each unit is
+// seeded independently and writes to its own slot, so the aggregates are
+// bit-identical to the serial loop for any worker count.
 func runScenarios(ctx Context, set schemeSet, scenarios []workload.Scenario) ([]ScenarioResult, map[string]metrics.Aggregate, error) {
+	mixes := ctx.MixesPerScenario
+	// outcomes[si*mixes+mix][ni] is the comparison for scheme set.names[ni].
+	outcomes := make([][]metrics.Comparison, len(scenarios)*mixes)
+	err := forEachIndexed(ctx.workers(), len(outcomes), func(item int) error {
+		si, mix := item/mixes, item%mixes
+		sc := scenarios[si]
+		mixSeed := ctx.Seed*1_000_003 + int64(si)*1009 + int64(mix)
+		jobs := workload.RandomMix(sc, rand.New(rand.NewSource(mixSeed)))
+		cmps := make([]metrics.Comparison, len(set.names))
+		for ni, name := range set.names {
+			c := cluster.New(ctx.Cfg)
+			res, err := c.Run(jobs, set.factories[name](mixSeed+int64(len(name))))
+			if err != nil {
+				return fmt.Errorf("experiments: %s under %s: %w", sc.Label, name, err)
+			}
+			run, err := metrics.FromResult(c, res)
+			if err != nil {
+				return err
+			}
+			cmps[ni] = metrics.Compare(run, metrics.SerialBaseline(c, jobs))
+		}
+		outcomes[item] = cmps
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+
+	// Aggregate in the serial path's exact iteration order.
 	out := make([]ScenarioResult, 0, len(scenarios))
 	all := map[string][]metrics.Comparison{}
 	for si, sc := range scenarios {
 		perScheme := map[string][]metrics.Comparison{}
-		for mix := 0; mix < ctx.MixesPerScenario; mix++ {
-			mixSeed := ctx.Seed*1_000_003 + int64(si)*1009 + int64(mix)
-			jobs := workload.RandomMix(sc, rand.New(rand.NewSource(mixSeed)))
-			for _, name := range set.names {
-				c := cluster.New(ctx.Cfg)
-				res, err := c.Run(jobs, set.factories[name](mixSeed+int64(len(name))))
-				if err != nil {
-					return nil, nil, fmt.Errorf("experiments: %s under %s: %w", sc.Label, name, err)
-				}
-				run, err := metrics.FromResult(c, res)
-				if err != nil {
-					return nil, nil, err
-				}
-				cmp := metrics.Compare(run, metrics.SerialBaseline(c, jobs))
+		for mix := 0; mix < mixes; mix++ {
+			for ni, name := range set.names {
+				cmp := outcomes[si*mixes+mix][ni]
 				perScheme[name] = append(perScheme[name], cmp)
 				all[name] = append(all[name], cmp)
 			}

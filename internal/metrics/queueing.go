@@ -1,0 +1,125 @@
+package metrics
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"moespark/internal/cluster"
+	"moespark/internal/mathx"
+)
+
+// QueueMetrics summarises an open-system run from the queueing-theory side:
+// how long applications waited for execution, how long they stayed in the
+// system, the tail of the latency distribution, and the completion
+// throughput over time. These complement the paper's closed-batch STP/ANTT.
+type QueueMetrics struct {
+	// Apps is the number of completed applications measured.
+	Apps int
+	// MeanWaitSec averages each app's time from submission to the start of
+	// useful execution (first executor spawn, or completion during
+	// profiling).
+	MeanWaitSec float64
+	// MaxWaitSec is the worst per-app wait.
+	MaxWaitSec float64
+	// MeanSojournSec averages submission-to-completion time.
+	MeanSojournSec float64
+	// P50SojournSec, P95SojournSec and P99SojournSec are latency percentiles
+	// of the sojourn time.
+	P50SojournSec float64
+	P95SojournSec float64
+	P99SojournSec float64
+	// MaxSojournSec is the worst per-app sojourn.
+	MaxSojournSec float64
+	// ThroughputJobsPerHour is completions divided by the span from the
+	// first submission to the last completion.
+	ThroughputJobsPerHour float64
+	// Windows samples completion throughput in fixed windows when a window
+	// length was given.
+	Windows []ThroughputWindow
+}
+
+// ThroughputWindow is one windowed-throughput sample.
+type ThroughputWindow struct {
+	// StartSec and EndSec bound the window in simulation time.
+	StartSec, EndSec float64
+	// Completed counts applications finishing inside the window.
+	Completed int
+	// JobsPerHour is the window's completion rate.
+	JobsPerHour float64
+}
+
+// Queueing computes the open-system metrics for a finished run. windowSec,
+// when positive, additionally samples completion throughput in windows of
+// that length from t=0 to the makespan.
+func Queueing(res *cluster.Result, windowSec float64) (QueueMetrics, error) {
+	var q QueueMetrics
+	if res == nil || len(res.Apps) == 0 {
+		return q, errors.New("metrics: empty run")
+	}
+	waits := make([]float64, 0, len(res.Apps))
+	sojourns := make([]float64, 0, len(res.Apps))
+	firstSubmit := res.Apps[0].SubmitTime
+	lastDone := 0.0
+	for _, a := range res.Apps {
+		sj := a.SojournSec()
+		w := a.WaitSec()
+		if sj <= 0 || w < 0 {
+			return q, fmt.Errorf("%w: %s", ErrIncompleteRun, a.Job)
+		}
+		waits = append(waits, w)
+		sojourns = append(sojourns, sj)
+		if a.SubmitTime < firstSubmit {
+			firstSubmit = a.SubmitTime
+		}
+		if a.DoneTime > lastDone {
+			lastDone = a.DoneTime
+		}
+	}
+	q.Apps = len(res.Apps)
+	q.MeanWaitSec = mathx.Mean(waits)
+	_, q.MaxWaitSec = mathx.MinMax(waits)
+	q.MeanSojournSec = mathx.Mean(sojourns)
+	q.P50SojournSec = mathx.Percentile(sojourns, 50)
+	q.P95SojournSec = mathx.Percentile(sojourns, 95)
+	q.P99SojournSec = mathx.Percentile(sojourns, 99)
+	_, q.MaxSojournSec = mathx.MinMax(sojourns)
+	if span := lastDone - firstSubmit; span > 0 {
+		q.ThroughputJobsPerHour = float64(q.Apps) / span * 3600
+	}
+	if windowSec > 0 {
+		q.Windows = throughputWindows(res, windowSec, lastDone)
+	}
+	return q, nil
+}
+
+// throughputWindows buckets completions into fixed windows over [0,
+// lastDone]. The final window is clamped to lastDone and its rate uses the
+// actual covered span, so a partial tail window is not under-reported.
+func throughputWindows(res *cluster.Result, windowSec, lastDone float64) []ThroughputWindow {
+	n := int(math.Ceil(lastDone / windowSec))
+	if n < 1 {
+		n = 1
+	}
+	wins := make([]ThroughputWindow, n)
+	for i := range wins {
+		wins[i].StartSec = float64(i) * windowSec
+		wins[i].EndSec = float64(i+1) * windowSec
+	}
+	if wins[n-1].EndSec > lastDone {
+		wins[n-1].EndSec = lastDone
+	}
+	for _, a := range res.Apps {
+		i := int(a.DoneTime / windowSec)
+		if i >= n {
+			i = n - 1
+		}
+		wins[i].Completed++
+	}
+	for i := range wins {
+		if span := wins[i].EndSec - wins[i].StartSec; span > 0 {
+			wins[i].JobsPerHour = float64(wins[i].Completed) / span * 3600
+		}
+	}
+	return wins
+}

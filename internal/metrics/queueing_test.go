@@ -1,0 +1,164 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"moespark/internal/cluster"
+	"moespark/internal/sched"
+	"moespark/internal/workload"
+)
+
+// mkApp builds a completed app with the given timestamps.
+func mkApp(t *testing.T, submit, start, done float64) *cluster.App {
+	t.Helper()
+	b, err := workload.Find("HB.Sort")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &cluster.App{
+		Job:        workload.Job{Bench: b, InputGB: 10},
+		SubmitTime: submit, ReadyTime: start, StartTime: start, DoneTime: done,
+		State: cluster.StateDone,
+	}
+}
+
+func TestQueueingBasics(t *testing.T) {
+	res := &cluster.Result{
+		Apps: []*cluster.App{
+			mkApp(t, 0, 10, 100),    // wait 10, sojourn 100
+			mkApp(t, 50, 80, 250),   // wait 30, sojourn 200
+			mkApp(t, 100, 150, 400), // wait 50, sojourn 300
+		},
+		MakespanSec: 400,
+	}
+	q, err := Queueing(res, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Apps != 3 {
+		t.Errorf("apps %d", q.Apps)
+	}
+	if math.Abs(q.MeanWaitSec-30) > 1e-9 {
+		t.Errorf("mean wait %v, want 30", q.MeanWaitSec)
+	}
+	if math.Abs(q.MaxWaitSec-50) > 1e-9 {
+		t.Errorf("max wait %v, want 50", q.MaxWaitSec)
+	}
+	if math.Abs(q.MeanSojournSec-200) > 1e-9 {
+		t.Errorf("mean sojourn %v, want 200", q.MeanSojournSec)
+	}
+	if math.Abs(q.P50SojournSec-200) > 1e-9 {
+		t.Errorf("p50 %v, want 200", q.P50SojournSec)
+	}
+	if q.P95SojournSec <= q.P50SojournSec || q.P99SojournSec < q.P95SojournSec {
+		t.Errorf("percentiles not ordered: p50=%v p95=%v p99=%v", q.P50SojournSec, q.P95SojournSec, q.P99SojournSec)
+	}
+	if math.Abs(q.MaxSojournSec-300) > 1e-9 {
+		t.Errorf("max sojourn %v, want 300", q.MaxSojournSec)
+	}
+	// 3 jobs over 400s span.
+	want := 3.0 / 400 * 3600
+	if math.Abs(q.ThroughputJobsPerHour-want) > 1e-9 {
+		t.Errorf("throughput %v, want %v", q.ThroughputJobsPerHour, want)
+	}
+	// Windows: done at 100, 250, 400 with 100s windows; the completion at
+	// exactly lastDone lands in the final window.
+	if len(q.Windows) != 4 {
+		t.Fatalf("%d windows, want 4", len(q.Windows))
+	}
+	counts := []int{0, 1, 1, 1}
+	for i, w := range q.Windows {
+		if w.Completed != counts[i] {
+			t.Errorf("window %d completed %d, want %d", i, w.Completed, counts[i])
+		}
+		wantRate := float64(counts[i]) / 100 * 3600
+		if math.Abs(w.JobsPerHour-wantRate) > 1e-9 {
+			t.Errorf("window %d rate %v, want %v", i, w.JobsPerHour, wantRate)
+		}
+	}
+}
+
+func TestQueueingPartialFinalWindow(t *testing.T) {
+	// lastDone=400 with 300s windows: the tail window covers only 300-400,
+	// and its rate must use the actual 100s span, not the nominal 300s.
+	res := &cluster.Result{
+		Apps: []*cluster.App{
+			mkApp(t, 0, 10, 100),
+			mkApp(t, 50, 80, 250),
+			mkApp(t, 100, 150, 400),
+		},
+	}
+	q, err := Queueing(res, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Windows) != 2 {
+		t.Fatalf("%d windows, want 2", len(q.Windows))
+	}
+	last := q.Windows[1]
+	if last.EndSec != 400 {
+		t.Errorf("final window ends at %v, want clamped to 400", last.EndSec)
+	}
+	if last.Completed != 1 {
+		t.Errorf("final window completed %d, want 1", last.Completed)
+	}
+	want := 1.0 / 100 * 3600
+	if math.Abs(last.JobsPerHour-want) > 1e-9 {
+		t.Errorf("final window rate %v, want %v (actual span, not nominal)", last.JobsPerHour, want)
+	}
+}
+
+func TestQueueingRejectsUnfinished(t *testing.T) {
+	a := mkApp(t, 0, 10, 100)
+	a.DoneTime = -1
+	if _, err := Queueing(&cluster.Result{Apps: []*cluster.App{a}}, 0); err == nil {
+		t.Error("unfinished app must error")
+	}
+	if _, err := Queueing(&cluster.Result{}, 0); err == nil {
+		t.Error("empty run must error")
+	}
+}
+
+func TestQueueingNoWindowsWhenDisabled(t *testing.T) {
+	res := &cluster.Result{Apps: []*cluster.App{mkApp(t, 0, 10, 100)}}
+	q, err := Queueing(res, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Windows != nil {
+		t.Errorf("windows %v, want none", q.Windows)
+	}
+}
+
+// TestQueueingOnRealOpenRun exercises the full path: Poisson arrivals through
+// the event engine into the queueing metrics.
+func TestQueueingOnRealOpenRun(t *testing.T) {
+	arrivals, err := workload.PoissonArrivals(12, 1.0/60, rand.New(rand.NewSource(21)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := cluster.New(cluster.DefaultConfig())
+	res, err := c.RunOpen(cluster.Submissions(arrivals), sched.NewPairwise())
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := Queueing(res, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Apps != 12 {
+		t.Errorf("apps %d, want 12", q.Apps)
+	}
+	if q.MeanSojournSec <= 0 || q.ThroughputJobsPerHour <= 0 {
+		t.Errorf("degenerate metrics: %+v", q)
+	}
+	total := 0
+	for _, w := range q.Windows {
+		total += w.Completed
+	}
+	if total != 12 {
+		t.Errorf("windows cover %d completions, want 12", total)
+	}
+}

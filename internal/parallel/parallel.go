@@ -1,0 +1,66 @@
+// Package parallel provides the deterministic worker pool shared by the
+// concurrent experiment runner and the LOOCV evaluator.
+package parallel
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// ForEachIndexed runs fn(i) for every i in [0, n) on a pool of workers.
+//
+// Determinism contract: fn must write its outputs only to index-addressed
+// slots (results[i] = ...) and must derive any randomness from seeds keyed on
+// i, never from shared rng state. Under that contract the outputs are
+// bit-identical to the serial loop regardless of worker count or scheduling.
+//
+// On error the lowest-index error is returned (what the serial loop would
+// have reported first); in-flight work is left to finish but no new work
+// starts. workers <= 1 runs serially.
+func ForEachIndexed(workers, n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		next     atomic.Int64
+		failed   atomic.Bool
+		mu       sync.Mutex
+		errIdx   = n
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1) - 1)
+				if i >= n || failed.Load() {
+					return
+				}
+				if err := fn(i); err != nil {
+					mu.Lock()
+					if i < errIdx {
+						errIdx, firstErr = i, err
+					}
+					mu.Unlock()
+					failed.Store(true)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}

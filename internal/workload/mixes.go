@@ -56,15 +56,7 @@ func ScenarioByLabel(label string) (Scenario, error) {
 // sure all benchmarks are included in each scenario's ~100 mixes), and each
 // job gets a random input scale.
 func RandomMix(s Scenario, rng *rand.Rand) []Job {
-	cat := Catalog()
-	perm := rng.Perm(len(cat))
-	jobs := make([]Job, 0, s.Apps)
-	for i := 0; i < s.Apps; i++ {
-		b := cat[perm[i%len(cat)]]
-		size := InputSizes[rng.Intn(len(InputSizes))]
-		jobs = append(jobs, Job{Bench: b, InputGB: size})
-	}
-	return jobs
+	return drawJobStream(s.Apps, rng)
 }
 
 // table4Rows reproduces the paper's Table 4 (the 30-application L10 mix used

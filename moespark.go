@@ -8,18 +8,37 @@
 //   - the memory-function experts themselves (curve families, fitting,
 //     two-point calibration),
 //   - a discrete-event simulator of the paper's 40-node Spark/YARN testbed,
+//     usable both as a closed batch (all jobs at t=0, the paper's setting)
+//     and as an open system consuming a stream of timed submissions,
+//   - seeded arrival-process generators (Poisson, bursty on/off, diurnal
+//     ramp) and queueing metrics (wait, sojourn percentiles, windowed
+//     throughput) for the open-system setting,
 //   - the paper's co-location schedulers (Pairwise, Quasar, MoE, Oracle,
 //     OnlineSearch, unified single-model baselines), and
 //   - the evaluation harness that regenerates every table and figure of the
 //     paper (see internal/experiments and cmd/reproduce).
 //
-// Quick start:
+// Quick start (closed batch, the paper's setting):
 //
 //	rng := rand.New(rand.NewSource(1))
 //	model, err := moespark.TrainDefaultModel(rng)
 //	...
 //	sim := moespark.NewCluster(moespark.DefaultClusterConfig())
 //	res, err := sim.Run(jobs, moespark.NewMoEScheduler(model, rng))
+//
+// Open system (streaming submissions): generate a timed arrival stream,
+// replay it through RunOpen, and read the queueing metrics:
+//
+//	arrivals, err := moespark.PoissonArrivals(100, 80.0/3600, rng) // 80 jobs/hour
+//	...
+//	sim := moespark.NewCluster(moespark.DefaultClusterConfig())
+//	res, err := sim.RunOpen(moespark.SubmissionsFromArrivals(arrivals),
+//		moespark.NewMoEScheduler(model, rng))
+//	q, err := moespark.MeasureQueueing(res, 600) // 10-minute throughput windows
+//	fmt.Println(q.MeanWaitSec, q.P95SojournSec, q.ThroughputJobsPerHour)
+//
+// Closed-batch Run is a thin wrapper over RunOpen with every submission at
+// t=0 and produces identical results to the pre-open-system engine.
 //
 // See examples/ for complete programs.
 package moespark
@@ -59,6 +78,8 @@ type (
 	Benchmark = workload.Benchmark
 	// Job is one application submission (benchmark + input size).
 	Job = workload.Job
+	// Arrival is one timed job submission of an open-system stream.
+	Arrival = workload.Arrival
 
 	// Cluster is the discrete-event simulator of the evaluation platform.
 	Cluster = cluster.Cluster
@@ -66,6 +87,8 @@ type (
 	ClusterConfig = cluster.Config
 	// Scheduler is a co-location policy driving the simulator.
 	Scheduler = cluster.Scheduler
+	// Submission is one timed arrival consumed by Cluster.RunOpen.
+	Submission = cluster.Submission
 	// Result summarises a simulation run.
 	Result = cluster.Result
 
@@ -73,6 +96,10 @@ type (
 	RunMetrics = metrics.RunMetrics
 	// Comparison sets a run against the serial isolated baseline.
 	Comparison = metrics.Comparison
+	// QueueMetrics holds the open-system queueing metrics for one run.
+	QueueMetrics = metrics.QueueMetrics
+	// ThroughputWindow is one windowed-throughput sample.
+	ThroughputWindow = metrics.ThroughputWindow
 )
 
 // Expert families (Table 1 of the paper).
@@ -168,8 +195,40 @@ func NewUnifiedScheduler(family MemoryFamily, rng *rand.Rand) Scheduler {
 	return sched.NewUnified(family, rng)
 }
 
+// PoissonArrivals generates a seeded open-system stream with exponential
+// inter-arrival gaps at the given mean rate (jobs per second), drawing jobs
+// from the 44-benchmark catalogue.
+func PoissonArrivals(n int, ratePerSec float64, rng *rand.Rand) ([]Arrival, error) {
+	return workload.PoissonArrivals(n, ratePerSec, rng)
+}
+
+// BurstyArrivals generates a seeded on/off stream: bursts of mean size
+// meanBurst at burstRate jobs/sec, separated by idle gaps of mean idleSec.
+func BurstyArrivals(n int, burstRate, meanBurst, idleSec float64, rng *rand.Rand) ([]Arrival, error) {
+	return workload.BurstyArrivals(n, burstRate, meanBurst, idleSec, rng)
+}
+
+// DiurnalArrivals generates a seeded stream with a sinusoidal day/night rate
+// profile around baseRate (amplitude in [0,1), period in seconds).
+func DiurnalArrivals(n int, baseRate, amplitude, periodSec float64, rng *rand.Rand) ([]Arrival, error) {
+	return workload.DiurnalArrivals(n, baseRate, amplitude, periodSec, rng)
+}
+
+// SubmissionsFromArrivals lifts a workload arrival stream into the engine's
+// submission events for Cluster.RunOpen.
+func SubmissionsFromArrivals(arrivals []Arrival) []Submission {
+	return cluster.Submissions(arrivals)
+}
+
 // Measure computes the paper's metrics for a finished run.
 func Measure(c *Cluster, res *Result) (RunMetrics, error) { return metrics.FromResult(c, res) }
+
+// MeasureQueueing computes the open-system queueing metrics (wait, sojourn
+// percentiles, throughput) for a finished run; windowSec > 0 adds windowed
+// throughput samples.
+func MeasureQueueing(res *Result, windowSec float64) (QueueMetrics, error) {
+	return metrics.Queueing(res, windowSec)
+}
 
 // CompareToSerial sets a run against the serial isolated-execution baseline.
 func CompareToSerial(c *Cluster, res *Result, jobs []Job) (Comparison, error) {

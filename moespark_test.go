@@ -143,3 +143,35 @@ func TestFacadeModelPersistence(t *testing.T) {
 		t.Error("persistence lost programs")
 	}
 }
+
+// TestFacadeOpenSystem exercises the open-system public API end to end:
+// arrival generation, streaming simulation, queueing metrics.
+func TestFacadeOpenSystem(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	model, err := TrainDefaultModel(rng)
+	if err != nil {
+		t.Fatalf("TrainDefaultModel: %v", err)
+	}
+	arrivals, err := PoissonArrivals(10, 100.0/3600, rng)
+	if err != nil {
+		t.Fatalf("PoissonArrivals: %v", err)
+	}
+	sim := NewCluster(DefaultClusterConfig())
+	res, err := sim.RunOpen(SubmissionsFromArrivals(arrivals), NewMoEScheduler(model, rng))
+	if err != nil {
+		t.Fatalf("RunOpen: %v", err)
+	}
+	q, err := MeasureQueueing(res, 600)
+	if err != nil {
+		t.Fatalf("MeasureQueueing: %v", err)
+	}
+	if q.Apps != 10 || q.MeanSojournSec <= 0 || q.ThroughputJobsPerHour <= 0 {
+		t.Errorf("degenerate queueing metrics: %+v", q)
+	}
+	if _, err := BurstyArrivals(5, 0.5, 4, 60, rng); err != nil {
+		t.Errorf("BurstyArrivals: %v", err)
+	}
+	if _, err := DiurnalArrivals(5, 0.05, 0.5, 3600, rng); err != nil {
+		t.Errorf("DiurnalArrivals: %v", err)
+	}
+}

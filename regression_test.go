@@ -1,0 +1,147 @@
+package moespark
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"moespark/internal/cluster"
+	"moespark/internal/metrics"
+	"moespark/internal/moe"
+	"moespark/internal/sched"
+	"moespark/internal/workload"
+)
+
+// golden holds per-run reference values captured from the closed-batch
+// engine before the open-system refactor. The refactored engine must
+// reproduce them bit-for-bit (up to the 10 significant digits recorded):
+// Run(jobs, sched) is required to stay a behaviour-preserving wrapper over
+// RunOpen with all submissions at t=0.
+type golden struct {
+	stp, antt, makespan float64
+	oom                 int
+	done                []float64
+}
+
+var closedBatchGoldens = map[string]golden{
+	"pairwise-table4": {
+		stp: 5.775205281, antt: 15.45557912, makespan: 4505.488858, oom: 0,
+		done: []float64{119.09, 532.7014171, 633.4001982, 3505.031984, 780.8306478, 1506.827363, 739.1101982, 904.5921174, 3487.159932, 3720.089663, 1723.913353, 1793.707363, 1722.747363, 1944.940818, 4091.291177, 1909.800119, 4137.245795, 2113.917619, 2176.543773, 2150.297386, 1955.005618, 2788.46749, 4296.782239, 2252.662619, 3272.17992, 2304.173389, 4265.788253, 4505.488858, 2951.633665, 3366.531445},
+	},
+	"oracle-table4": {
+		stp: 10.8993005, antt: 3.838145892, makespan: 2689.588255, oom: 0,
+		done: []float64{125.7731306, 449.1273863, 426.8298966, 849.6689736, 703.8943823, 2002.756216, 111.6275, 600.6517326, 1058.553124, 833.2340449, 2249.194714, 1285.926766, 789.9540325, 1667.723328, 2562.888239, 489.0304291, 1878.132536, 678.2598365, 923.9561009, 1161.490252, 11.55184977, 2689.588255, 1967.922207, 479.7712676, 2182.816562, 304.9818075, 1419.538794, 2662.678817, 709.8053332, 1359.163078},
+	},
+	"moe-l5-seed42": {
+		stp: 9.720532631, antt: 1.134993937, makespan: 590.134085, oom: 0,
+		done: []float64{590.134085, 190.5721229, 14.6678978, 10.50170571, 13.63352396, 13.20511156, 336.9350995, 161.5294564, 182.4614478, 11.08099139, 192.8985541},
+	},
+	"isolated-l5-seed42": {
+		stp: 1.94834659, antt: 35.53086045, makespan: 1457.891741, oom: 0,
+		done: []float64{508, 666, 679.4545455, 689.4545455, 702.0699301, 714.3556444, 995.0829171, 1128.082917, 1283.141741, 1293.641741, 1457.891741},
+	},
+}
+
+// relClose checks agreement to ~9 significant digits (the goldens were
+// recorded with 10).
+func relClose(got, want float64) bool {
+	if want == 0 {
+		return got == 0
+	}
+	return math.Abs(got-want)/math.Abs(want) < 1e-8
+}
+
+func checkGolden(t *testing.T, label string, jobs []workload.Job, s cluster.Scheduler) {
+	t.Helper()
+	g, ok := closedBatchGoldens[label]
+	if !ok {
+		t.Fatalf("no golden named %q", label)
+	}
+	c := cluster.New(cluster.DefaultConfig())
+	res, err := c.Run(jobs, s)
+	if err != nil {
+		t.Fatalf("%s: %v", label, err)
+	}
+	m, err := metrics.FromResult(c, res)
+	if err != nil {
+		t.Fatalf("%s: %v", label, err)
+	}
+	if !relClose(m.STP, g.stp) {
+		t.Errorf("%s: STP = %.10g, golden %.10g", label, m.STP, g.stp)
+	}
+	if !relClose(m.ANTT, g.antt) {
+		t.Errorf("%s: ANTT = %.10g, golden %.10g", label, m.ANTT, g.antt)
+	}
+	if !relClose(m.MakespanSec, g.makespan) {
+		t.Errorf("%s: makespan = %.10g, golden %.10g", label, m.MakespanSec, g.makespan)
+	}
+	if m.OOMKills != g.oom {
+		t.Errorf("%s: OOM kills = %d, golden %d", label, m.OOMKills, g.oom)
+	}
+	if len(res.Apps) != len(g.done) {
+		t.Fatalf("%s: %d apps, golden %d", label, len(res.Apps), len(g.done))
+	}
+	for i, a := range res.Apps {
+		if !relClose(a.DoneTime, g.done[i]) {
+			t.Errorf("%s: app %d done at %.10g, golden %.10g", label, i, a.DoneTime, g.done[i])
+		}
+		if a.SubmitTime != 0 {
+			t.Errorf("%s: app %d submit time %v, closed batch must submit at 0", label, i, a.SubmitTime)
+		}
+	}
+}
+
+// TestClosedBatchEquivalence locks Run(jobs, sched) to the results the
+// pre-refactor closed-batch engine produced for deterministic and seeded
+// schedulers alike.
+func TestClosedBatchEquivalence(t *testing.T) {
+	t4, err := workload.Table4Mix()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "pairwise-table4", t4, sched.NewPairwise())
+	checkGolden(t, "oracle-table4", t4, sched.NewOracle())
+
+	sc, err := workload.ScenarioByLabel("L5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mix := workload.RandomMix(sc, rand.New(rand.NewSource(42)))
+	model, err := moe.TrainDefault(rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "moe-l5-seed42", mix, sched.NewMoE(model, rand.New(rand.NewSource(9))))
+	checkGolden(t, "isolated-l5-seed42", mix, sched.NewIsolated())
+}
+
+// TestRunMatchesRunOpenAtTimeZero pins the wrapper relationship directly:
+// submitting everything at t=0 through RunOpen is bit-identical to Run.
+func TestRunMatchesRunOpenAtTimeZero(t *testing.T) {
+	t4, err := workload.Table4Mix()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1 := cluster.New(cluster.DefaultConfig())
+	r1, err := c1.Run(t4, sched.NewOracle())
+	if err != nil {
+		t.Fatal(err)
+	}
+	subs := make([]cluster.Submission, len(t4))
+	for i, j := range t4 {
+		subs[i] = cluster.Submission{At: 0, Job: j}
+	}
+	c2 := cluster.New(cluster.DefaultConfig())
+	r2, err := c2.RunOpen(subs, sched.NewOracle())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.MakespanSec != r2.MakespanSec {
+		t.Errorf("makespan %v vs %v", r1.MakespanSec, r2.MakespanSec)
+	}
+	for i := range r1.Apps {
+		if r1.Apps[i].DoneTime != r2.Apps[i].DoneTime {
+			t.Errorf("app %d done %v vs %v", i, r1.Apps[i].DoneTime, r2.Apps[i].DoneTime)
+		}
+	}
+}
