@@ -14,13 +14,25 @@
 //	moeschedsim -policy moe -arrivals poisson -rate 80 -apps 30
 //	moeschedsim -policy pairwise -arrivals bursty -rate 120 -apps 50
 //	moeschedsim -policy isolated -arrivals diurnal -rate 60 -period 3600
+//
+// Heterogeneous fleets and node lifecycle churn:
+//
+//	moeschedsim -policy moe -fleet bimodal -arrivals poisson -rate 60
+//	moeschedsim -policy moe -fleet stragglers -placer speed
+//	moeschedsim -policy moe -node-events drain@600:3,fail@900:7,join@1200
+//
+// -json emits the scenario and queueing results as a single JSON object for
+// machine consumption.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"math/rand"
 	"os"
+	"strconv"
+	"strings"
 
 	"moespark/internal/cluster"
 	"moespark/internal/memfunc"
@@ -30,38 +42,129 @@ import (
 	"moespark/internal/workload"
 )
 
-func buildPolicy(name string, seed int64) (cluster.Scheduler, error) {
+func buildPolicy(name, placer string, seed int64) (cluster.Scheduler, error) {
 	rng := rand.New(rand.NewSource(seed))
+	var d *sched.Dispatcher
+	var err error
 	switch name {
 	case "isolated":
-		return sched.NewIsolated(), nil
+		d = sched.NewIsolated()
 	case "pairwise":
-		return sched.NewPairwise(), nil
+		d = sched.NewPairwise()
 	case "oracle":
-		return sched.NewOracle(), nil
+		d = sched.NewOracle()
 	case "online":
-		return sched.NewOnlineSearch(rng), nil
+		d = sched.NewOnlineSearch(rng)
 	case "moe":
-		model, err := moe.TrainDefault(rand.New(rand.NewSource(seed + 1)))
+		var model *moe.Model
+		model, err = moe.TrainDefault(rand.New(rand.NewSource(seed + 1)))
 		if err != nil {
 			return nil, fmt.Errorf("training MoE model: %w", err)
 		}
-		return sched.NewMoE(model, rng), nil
+		d = sched.NewMoE(model, rng)
 	case "quasar":
-		q, err := sched.TrainQuasar(workload.TrainingSet(), rand.New(rand.NewSource(seed+2)))
+		var q *sched.QuasarModel
+		q, err = sched.TrainQuasar(workload.TrainingSet(), rand.New(rand.NewSource(seed+2)))
 		if err != nil {
 			return nil, fmt.Errorf("training Quasar model: %w", err)
 		}
-		return sched.NewQuasar(q, rng), nil
+		d = sched.NewQuasar(q, rng)
 	case "unified-linear":
-		return sched.NewUnified(memfunc.LinearPower, rng), nil
+		d = sched.NewUnified(memfunc.LinearPower, rng)
 	case "unified-exp":
-		return sched.NewUnified(memfunc.Exponential, rng), nil
+		d = sched.NewUnified(memfunc.Exponential, rng)
 	case "unified-log":
-		return sched.NewUnified(memfunc.NapierianLog, rng), nil
+		d = sched.NewUnified(memfunc.NapierianLog, rng)
 	default:
 		return nil, fmt.Errorf("unknown policy %q", name)
 	}
+	switch placer {
+	case "", "firstfit":
+		// The default: first fit in node-scan order.
+	case "bestfit":
+		d.Placer = sched.NewBestFitMemory()
+	case "speed":
+		d.Placer = sched.NewSpeedAware()
+	default:
+		return nil, fmt.Errorf("unknown placer %q (firstfit|bestfit|speed)", placer)
+	}
+	return d, nil
+}
+
+// buildFleet resolves -fleet into per-node specs; nil means the homogeneous
+// default platform.
+func buildFleet(kind string, nodes int, seed int64) ([]cluster.NodeSpec, error) {
+	if nodes <= 0 {
+		return nil, fmt.Errorf("need a positive -nodes, got %d", nodes)
+	}
+	rng := rand.New(rand.NewSource(seed + 3))
+	switch kind {
+	case "", "uniform":
+		return nil, nil
+	case "bimodal":
+		fleet, err := workload.BimodalFleet(nodes, workload.BigNode(), workload.LittleNode(), 0.5, rng)
+		if err != nil {
+			return nil, err
+		}
+		return cluster.SpecsFrom(fleet), nil
+	case "stragglers":
+		fleet, err := workload.StragglerFleet(nodes, workload.PaperNode(), 0.25, 0.4, rng)
+		if err != nil {
+			return nil, err
+		}
+		return cluster.SpecsFrom(fleet), nil
+	default:
+		return nil, fmt.Errorf("unknown fleet %q (uniform|bimodal|stragglers)", kind)
+	}
+}
+
+// parseNodeEvents parses the -node-events syntax: a comma-separated list of
+// kind@seconds[:nodeID] items, e.g. "drain@600:3,fail@900:7,join@1200".
+// Joins take the platform's default node spec and need no target.
+func parseNodeEvents(s string) ([]cluster.NodeEvent, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var events []cluster.NodeEvent
+	for _, item := range strings.Split(s, ",") {
+		item = strings.TrimSpace(item)
+		kindStr, rest, ok := strings.Cut(item, "@")
+		if !ok {
+			return nil, fmt.Errorf("node event %q: want kind@seconds[:nodeID]", item)
+		}
+		var kind cluster.NodeEventKind
+		switch kindStr {
+		case "join":
+			kind = cluster.NodeJoin
+		case "drain":
+			kind = cluster.NodeDrain
+		case "fail":
+			kind = cluster.NodeFail
+		default:
+			return nil, fmt.Errorf("node event %q: unknown kind %q (join|drain|fail)", item, kindStr)
+		}
+		atStr, nodeStr, hasNode := strings.Cut(rest, ":")
+		at, err := strconv.ParseFloat(atStr, 64)
+		if err != nil || at < 0 {
+			return nil, fmt.Errorf("node event %q: bad time %q", item, atStr)
+		}
+		ev := cluster.NodeEvent{At: at, Kind: kind}
+		if kind == cluster.NodeJoin {
+			if hasNode {
+				return nil, fmt.Errorf("node event %q: join takes no node ID", item)
+			}
+		} else {
+			if !hasNode {
+				return nil, fmt.Errorf("node event %q: %s needs a target node ID", item, kindStr)
+			}
+			ev.Node, err = strconv.Atoi(nodeStr)
+			if err != nil || ev.Node < 0 {
+				return nil, fmt.Errorf("node event %q: bad node ID %q", item, nodeStr)
+			}
+		}
+		events = append(events, ev)
+	}
+	return events, nil
 }
 
 // buildArrivals generates the open-system submission stream for -arrivals.
@@ -88,20 +191,62 @@ func buildArrivals(kind string, apps int, ratePerHour, burstLen, idleSec, period
 	}
 }
 
+// jsonApp is one per-application record of the -json output.
+type jsonApp struct {
+	ID            int     `json:"id"`
+	Application   string  `json:"application"`
+	SubmitSec     float64 `json:"submitSec"`
+	IsolatedSec   float64 `json:"isolatedSec"`
+	WaitSec       float64 `json:"waitSec"`
+	TurnaroundSec float64 `json:"turnaroundSec"`
+	OOMKills      int     `json:"oomKills"`
+}
+
+// jsonOutput is the machine-readable result of one run.
+type jsonOutput struct {
+	Policy       string  `json:"policy"`
+	Placer       string  `json:"placer,omitempty"`
+	Fleet        string  `json:"fleet"`
+	Nodes        int     `json:"nodes"`
+	Seed         int64   `json:"seed"`
+	Applications int     `json:"applications"`
+	STP          float64 `json:"stp"`
+	ANTT         float64 `json:"antt"`
+	MakespanSec  float64 `json:"makespanSec"`
+	OOMKills     int     `json:"oomKills"`
+	FailKills    int     `json:"failKills"`
+
+	// Closed-batch only: comparison against the serial isolated baseline.
+	ANTTReductionPct *float64 `json:"anttReductionPct,omitempty"`
+	SpeedupVsSerial  *float64 `json:"speedupVsSerial,omitempty"`
+
+	// Open-system only.
+	Arrivals    string                `json:"arrivals,omitempty"`
+	RatePerHour float64               `json:"ratePerHour,omitempty"`
+	Queueing    *metrics.QueueMetrics `json:"queueing,omitempty"`
+
+	Apps []jsonApp `json:"apps"`
+}
+
 func main() {
 	var (
-		policy   = flag.String("policy", "moe", "isolated|pairwise|quasar|moe|oracle|online|unified-linear|unified-exp|unified-log")
-		scenario = flag.String("scenario", "L8", "task-mix scenario label (Table 3: L1..L10)")
-		table4   = flag.Bool("table4", false, "use the paper's exact Table 4 mix instead of a random one")
-		arrivals = flag.String("arrivals", "", "open-system arrival process: poisson|bursty|diurnal (empty = closed batch)")
-		rate     = flag.Float64("rate", 60, "mean arrival rate in jobs/hour (open-system mode)")
-		apps     = flag.Int("apps", 30, "stream length in jobs (open-system mode)")
-		burstLen = flag.Float64("burst", 5, "mean jobs per burst (bursty arrivals)")
-		idleSec  = flag.Float64("idle", 0, "mean idle gap between bursts in seconds (bursty arrivals; 0 = derived so the long-run rate matches -rate)")
-		period   = flag.Float64("period", 3600, "day/night period in seconds (diurnal arrivals)")
-		window   = flag.Float64("window", 600, "throughput window in seconds (open-system mode)")
-		seed     = flag.Int64("seed", 1, "random seed")
-		verbose  = flag.Bool("verbose", false, "print per-application timings")
+		policy     = flag.String("policy", "moe", "isolated|pairwise|quasar|moe|oracle|online|unified-linear|unified-exp|unified-log")
+		placer     = flag.String("placer", "firstfit", "placement scoring: firstfit|bestfit|speed")
+		scenario   = flag.String("scenario", "L8", "task-mix scenario label (Table 3: L1..L10)")
+		table4     = flag.Bool("table4", false, "use the paper's exact Table 4 mix instead of a random one")
+		fleet      = flag.String("fleet", "uniform", "node fleet: uniform|bimodal|stragglers")
+		nodes      = flag.Int("nodes", 40, "initial fleet size")
+		nodeEvents = flag.String("node-events", "", "timed lifecycle events, e.g. drain@600:3,fail@900:7,join@1200")
+		arrivals   = flag.String("arrivals", "", "open-system arrival process: poisson|bursty|diurnal (empty = closed batch)")
+		rate       = flag.Float64("rate", 60, "mean arrival rate in jobs/hour (open-system mode)")
+		apps       = flag.Int("apps", 30, "stream length in jobs (open-system mode)")
+		burstLen   = flag.Float64("burst", 5, "mean jobs per burst (bursty arrivals)")
+		idleSec    = flag.Float64("idle", 0, "mean idle gap between bursts in seconds (bursty arrivals; 0 = derived so the long-run rate matches -rate)")
+		period     = flag.Float64("period", 3600, "day/night period in seconds (diurnal arrivals)")
+		window     = flag.Float64("window", 600, "throughput window in seconds (open-system mode)")
+		seed       = flag.Int64("seed", 1, "random seed")
+		verbose    = flag.Bool("verbose", false, "print per-application timings")
+		jsonOut    = flag.Bool("json", false, "emit results as a JSON object instead of tables")
 	)
 	flag.Parse()
 
@@ -110,19 +255,46 @@ func main() {
 		os.Exit(1)
 	}
 
-	p, err := buildPolicy(*policy, *seed)
+	// Validate flag combinations up front so failures never follow partial
+	// output.
+	open := *arrivals != ""
+	if *table4 && open {
+		fail(fmt.Errorf("-table4 is a closed-batch mix and is incompatible with -arrivals"))
+	}
+	if *jsonOut && *verbose {
+		fail(fmt.Errorf("-json already includes per-application records; drop -verbose"))
+	}
+	specs, err := buildFleet(*fleet, *nodes, *seed)
+	if err != nil {
+		fail(err)
+	}
+	events, err := parseNodeEvents(*nodeEvents)
+	if err != nil {
+		fail(err)
+	}
+	p, err := buildPolicy(*policy, *placer, *seed)
 	if err != nil {
 		fail(err)
 	}
 
-	c := cluster.New(cluster.DefaultConfig())
+	cfg := cluster.DefaultConfig()
+	cfg.Nodes = *nodes
+	var c *cluster.Cluster
+	if specs == nil {
+		c = cluster.New(cfg)
+	} else {
+		c, err = cluster.NewHetero(cfg, specs)
+		if err != nil {
+			fail(err)
+		}
+	}
+	if err := c.ScheduleNodeEvents(events...); err != nil {
+		fail(err)
+	}
+
 	var res *cluster.Result
 	var jobs []workload.Job
-	open := *arrivals != ""
 	if open {
-		if *table4 {
-			fail(fmt.Errorf("-table4 is a closed-batch mix and is incompatible with -arrivals"))
-		}
 		stream, err := buildArrivals(*arrivals, *apps, *rate, *burstLen, *idleSec, *period, *seed)
 		if err != nil {
 			fail(err)
@@ -156,8 +328,58 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
+	var q metrics.QueueMetrics
+	if open {
+		if q, err = metrics.Queueing(res, *window); err != nil {
+			fail(err)
+		}
+	}
+
+	if *jsonOut {
+		out := jsonOutput{
+			Policy: p.Name(), Fleet: *fleet, Nodes: *nodes, Seed: *seed,
+			Applications: len(jobs),
+			STP:          run.STP, ANTT: run.ANTT,
+			MakespanSec: run.MakespanSec,
+			OOMKills:    run.OOMKills, FailKills: res.FailKills,
+		}
+		if *placer != "firstfit" {
+			out.Placer = *placer
+		}
+		if open {
+			out.Arrivals = *arrivals
+			out.RatePerHour = *rate
+			out.Queueing = &q
+		} else {
+			base := metrics.SerialBaseline(c, jobs)
+			cmp := metrics.Compare(run, base)
+			out.ANTTReductionPct = &cmp.ANTTReductionPct
+			out.SpeedupVsSerial = &cmp.Speedup
+		}
+		for _, a := range res.Apps {
+			out.Apps = append(out.Apps, jsonApp{
+				ID: a.ID, Application: a.Job.String(),
+				SubmitSec: a.SubmitTime, IsolatedSec: c.IsolatedTime(a.Job),
+				WaitSec: a.WaitSec(), TurnaroundSec: a.Turnaround(),
+				OOMKills: a.OOMKills,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fail(err)
+		}
+		return
+	}
 
 	fmt.Printf("policy        %s\n", p.Name())
+	if *fleet != "uniform" || *nodeEvents != "" {
+		fmt.Printf("fleet         %s, %d nodes", *fleet, *nodes)
+		if *nodeEvents != "" {
+			fmt.Printf(", events: %s", *nodeEvents)
+		}
+		fmt.Println()
+	}
 	fmt.Printf("applications  %d\n", len(jobs))
 	fmt.Printf("STP           %.2f   (Eq. 1, normalized to isolated execution)\n", run.STP)
 	fmt.Printf("ANTT          %.2f   (Eq. 2)\n", run.ANTT)
@@ -176,12 +398,11 @@ func main() {
 			run.MakespanSec/60, base.MakespanSec/60, cmp.Speedup)
 	}
 	fmt.Printf("OOM kills     %d\n", run.OOMKills)
+	if res.FailKills > 0 {
+		fmt.Printf("fail kills    %d   (executors lost to node failures)\n", res.FailKills)
+	}
 
 	if open {
-		q, err := metrics.Queueing(res, *window)
-		if err != nil {
-			fail(err)
-		}
 		fmt.Println()
 		fmt.Printf("mean wait     %.1f s (max %.1f s)\n", q.MeanWaitSec, q.MaxWaitSec)
 		fmt.Printf("sojourn       mean %.1f s, p50 %.1f s, p95 %.1f s, p99 %.1f s\n",

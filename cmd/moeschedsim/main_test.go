@@ -1,0 +1,84 @@
+package main
+
+import (
+	"testing"
+
+	"moespark/internal/cluster"
+)
+
+func TestParseNodeEvents(t *testing.T) {
+	evs, err := parseNodeEvents("drain@600:3, fail@900:7,join@1200")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []cluster.NodeEvent{
+		{At: 600, Kind: cluster.NodeDrain, Node: 3},
+		{At: 900, Kind: cluster.NodeFail, Node: 7},
+		{At: 1200, Kind: cluster.NodeJoin},
+	}
+	if len(evs) != len(want) {
+		t.Fatalf("%d events, want %d", len(evs), len(want))
+	}
+	for i := range want {
+		if evs[i] != want[i] {
+			t.Errorf("event %d = %+v, want %+v", i, evs[i], want[i])
+		}
+	}
+	if evs, err := parseNodeEvents(""); err != nil || evs != nil {
+		t.Errorf("empty spec: %v, %v", evs, err)
+	}
+	for _, bad := range []string{
+		"drain@600",    // missing target
+		"join@100:2",   // join takes no target
+		"reboot@100:1", // unknown kind
+		"drain@-5:1",   // negative time
+		"drain@abc:1",  // bad time
+		"drain@100:x",  // bad node
+		"drain600:1",   // missing @
+		"fail@100:-2",  // negative node
+	} {
+		if _, err := parseNodeEvents(bad); err == nil {
+			t.Errorf("%q accepted", bad)
+		}
+	}
+}
+
+func TestBuildFleet(t *testing.T) {
+	if specs, err := buildFleet("uniform", 40, 1); err != nil || specs != nil {
+		t.Errorf("uniform fleet: %v, %v (want nil specs = default platform)", specs, err)
+	}
+	specs, err := buildFleet("bimodal", 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 10 {
+		t.Errorf("bimodal fleet size = %d, want 10", len(specs))
+	}
+	again, err := buildFleet("bimodal", 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range specs {
+		if specs[i] != again[i] {
+			t.Errorf("node %d differs across identical seeds", i)
+		}
+	}
+	if _, err := buildFleet("exotic", 10, 1); err == nil {
+		t.Error("unknown fleet kind accepted")
+	}
+	if _, err := buildFleet("stragglers", 0, 1); err == nil {
+		t.Error("zero-node fleet accepted")
+	}
+}
+
+func TestBuildPolicyPlacers(t *testing.T) {
+	if _, err := buildPolicy("oracle", "speed", 1); err != nil {
+		t.Errorf("speed placer rejected: %v", err)
+	}
+	if _, err := buildPolicy("oracle", "warp", 1); err == nil {
+		t.Error("unknown placer accepted")
+	}
+	if _, err := buildPolicy("telepathy", "", 1); err == nil {
+		t.Error("unknown policy accepted")
+	}
+}

@@ -30,7 +30,7 @@ func (s fullSpeedScheduler) Schedule(c *Cluster) {
 			if len(app.Executors) >= app.MaxExecutors {
 				break
 			}
-			if len(n.Executors) > 0 || app.ExecutorOn(n) {
+			if !n.Available() || len(n.Executors) > 0 || app.ExecutorOn(n) {
 				continue
 			}
 			share := app.RemainingGB / float64(app.MaxExecutors-len(app.Executors))

@@ -22,6 +22,11 @@ type Config struct {
 	Nodes int
 	// RAMGB is physical memory per node.
 	RAMGB float64
+	// BaselineCores is the hardware-thread count of the reference node that
+	// CPU demands are expressed against: a demand of 1.0 saturates a
+	// BaselineCores node. Heterogeneous nodes scale their CPU capacity as
+	// NodeSpec.Cores / BaselineCores. Zero means the paper's 16 threads.
+	BaselineCores int
 	// OSReserveGB is memory unavailable to executors (OS, daemons, HDFS).
 	OSReserveGB float64
 	// SwapGB is swap space per node; actual use beyond RAM spills here with
@@ -91,6 +96,7 @@ func DefaultConfig() Config {
 	return Config{
 		Nodes:               40,
 		RAMGB:               64,
+		BaselineCores:       16,
 		OSReserveGB:         4,
 		SwapGB:              16,
 		PagePenalty:         30,

@@ -43,28 +43,60 @@ type Scheduler interface {
 
 // Cluster is the simulated platform plus simulation state.
 type Cluster struct {
-	cfg     Config
-	nodes   []*Node
-	apps    []*App
-	pending []Submission
-	foreign []*ForeignTask
-	now     float64
-	trace   *Trace
+	cfg        Config
+	nodes      []*Node
+	apps       []*App
+	pending    []Submission
+	nodeEvents []NodeEvent
+	foreign    []*ForeignTask
+	now        float64
+	trace      *Trace
+	nextNodeID int
 
-	totalOOM int
+	totalOOM       int
+	totalFailKills int
 }
 
-// New creates an idle cluster.
+// New creates an idle homogeneous cluster: cfg.Nodes nodes, each with the
+// platform's default spec (the paper's testbed).
 func New(cfg Config) *Cluster {
-	c := &Cluster{cfg: cfg}
-	c.nodes = make([]*Node, cfg.Nodes)
-	for i := range c.nodes {
-		c.nodes[i] = &Node{ID: i, cfg: cfg}
+	specs := make([]NodeSpec, cfg.Nodes)
+	for i := range specs {
+		specs[i] = cfg.DefaultNodeSpec()
 	}
-	if cfg.TraceInterval > 0 {
-		c.trace = newTrace(cfg.Nodes, cfg.TraceInterval)
+	c, err := NewHetero(cfg, specs)
+	if err != nil {
+		// The default spec is always valid; only a non-positive cfg.Nodes or
+		// degenerate platform memory can get here, which matches the previous
+		// behaviour of an unusable zero-node cluster.
+		c = &Cluster{cfg: cfg}
+		if cfg.TraceInterval > 0 {
+			c.trace = newTrace(cfg.TraceInterval)
+		}
 	}
 	return c
+}
+
+// NewHetero creates an idle heterogeneous cluster with one node per spec
+// (the spec slice overrides cfg.Nodes). Platform-wide behaviour — penalty
+// shapes, watermark, startup latency — still comes from cfg.
+func NewHetero(cfg Config, specs []NodeSpec) (*Cluster, error) {
+	if len(specs) == 0 {
+		return nil, errors.New("cluster: need at least one node spec")
+	}
+	c := &Cluster{cfg: cfg}
+	c.nodes = make([]*Node, len(specs))
+	for i, s := range specs {
+		if err := s.Validate(); err != nil {
+			return nil, fmt.Errorf("cluster: node %d: %w", i, err)
+		}
+		c.nodes[i] = newNode(i, s, cfg, 0)
+	}
+	c.nextNodeID = len(specs)
+	if cfg.TraceInterval > 0 {
+		c.trace = newTrace(cfg.TraceInterval)
+	}
+	return c, nil
 }
 
 // Config returns the platform configuration.
@@ -82,17 +114,51 @@ func (c *Cluster) Apps() []*App { return c.apps }
 // TotalOOMKills counts executors killed for overflowing RAM+swap.
 func (c *Cluster) TotalOOMKills() int { return c.totalOOM }
 
+// TotalFailKills counts executors killed by node failures.
+func (c *Cluster) TotalFailKills() int { return c.totalFailKills }
+
+// AvailableNodes counts nodes currently accepting placements.
+func (c *Cluster) AvailableNodes() int {
+	var n int
+	for _, node := range c.nodes {
+		if node.Available() {
+			n++
+		}
+	}
+	return n
+}
+
 // WaitingApps returns the ready-or-running applications that still have
 // unassigned work and spare executor slots, in FCFS order.
-func (c *Cluster) WaitingApps() []*App {
-	var out []*App
+func (c *Cluster) WaitingApps() []*App { return c.AppendWaitingApps(nil) }
+
+// AppendWaitingApps is the allocation-free form of WaitingApps for hot-path
+// callers: the waiting set is appended to buf (typically buf[:0] of a reused
+// slice) and returned.
+func (c *Cluster) AppendWaitingApps(buf []*App) []*App {
 	for _, a := range c.apps {
 		if (a.State == StateReady || a.State == StateRunning) &&
 			a.RemainingGB > 0 && len(a.Executors) < a.MaxExecutors {
-			out = append(out, a)
+			buf = append(buf, a)
 		}
 	}
-	return out
+	return buf
+}
+
+// AddReadyApp registers an application in the ready state at the current
+// simulation time, bypassing submission and profiling. It exists for
+// benchmarks and custom drivers that exercise scheduling logic directly;
+// engine-driven runs go through Run / RunOpen instead.
+func (c *Cluster) AddReadyApp(job workload.Job) *App {
+	a := &App{
+		ID: len(c.apps), Job: job,
+		SubmitTime: c.now, ReadyTime: c.now, StartTime: -1, DoneTime: -1,
+		RemainingGB:  job.InputGB,
+		MaxExecutors: c.cfg.NodesFor(job.InputGB),
+		State:        StateReady,
+	}
+	c.apps = append(c.apps, a)
+	return a
 }
 
 // AddForeign pins a foreign co-runner task (e.g. a PARSEC benchmark) to a
@@ -126,6 +192,7 @@ var (
 	ErrExecutorCap       = errors.New("cluster: app already at its executor cap")
 	ErrAlreadyOnNode     = errors.New("cluster: app already has an executor on node")
 	ErrChunkTooSmall     = errors.New("cluster: data allocation below minimum chunk")
+	ErrNodeUnavailable   = errors.New("cluster: node is draining or failed")
 )
 
 // Spawn places a new executor of app on node with the given memory
@@ -134,6 +201,9 @@ var (
 // admission control charges against the node.
 func (c *Cluster) Spawn(app *App, node *Node, reserveGB, itemsGB float64) (*Executor, error) {
 	const eps = 1e-9
+	if !node.Available() {
+		return nil, fmt.Errorf("%w: node %d is %v", ErrNodeUnavailable, node.ID, node.state)
+	}
 	if app.State != StateReady && app.State != StateRunning {
 		return nil, fmt.Errorf("%w: %s is %v", ErrAppNotSchedulable, app.Job, app.State)
 	}
@@ -249,6 +319,8 @@ type Result struct {
 	MakespanSec float64
 	// OOMKills counts executor OOM kills over the whole run.
 	OOMKills int
+	// FailKills counts executors killed by node failures.
+	FailKills int
 	// Trace holds utilization samples when tracing was enabled.
 	Trace *Trace
 }
@@ -306,6 +378,9 @@ func (c *Cluster) RunOpen(subs []Submission, sched Scheduler) (*Result, error) {
 	c.apps = make([]*App, 0, len(subs))
 
 	for ev := 0; ev < maxEvents; ev++ {
+		if err := c.applyNodeEvents(); err != nil {
+			return nil, err
+		}
 		if err := c.admitArrivals(sched); err != nil {
 			return nil, err
 		}
@@ -405,20 +480,23 @@ func (c *Cluster) profilingShare() float64 {
 }
 
 // recomputeRates refreshes all executor/foreign rates, applying CPU
-// contention, interference, paging, cache-efficiency and OOM kills.
+// contention, interference, paging, cache-efficiency and OOM kills. All
+// capacity math reads the node's own spec, so heterogeneous fleets page,
+// contend and speed-scale per node.
 func (c *Cluster) recomputeRates() {
 	for _, n := range c.nodes {
 		c.enforceOOM(n)
 		sumD := n.CPUDemand()
-		usable := c.cfg.UsableGB()
+		usable := n.Spec.UsableGB()
+		speed := n.Spec.SpeedFactor
 		overflow := n.ActualGB() - c.cfg.PressureWatermark*usable
 		pageFactor := 1.0
 		if overflow > 0 {
 			pageFactor = 1 / (1 + c.cfg.PagePenalty*overflow/usable)
 		}
 		cpuFactor := 1.0
-		if sumD > 1 {
-			cpuFactor = 1 / sumD
+		if cap := n.cpuCap; sumD > cap {
+			cpuFactor = cap / sumD
 		}
 		for _, e := range n.Executors {
 			if e.App.startupUntil > c.now {
@@ -441,15 +519,32 @@ func (c *Cluster) recomputeRates() {
 					heapFactor = c.cfg.HeapFloor
 				}
 			}
-			e.rate = e.App.Job.Bench.ScanRate * cpuFactor * interference * pageFactor * cacheEff * heapFactor
+			e.rate = e.App.Job.Bench.ScanRate * speed * cpuFactor * interference * pageFactor * cacheEff * heapFactor
 		}
 		for _, f := range n.Foreign {
 			if f.done {
 				continue
 			}
 			interference := 1 / (1 + c.cfg.InterferenceAlpha*(sumD-f.CPULoad))
-			f.rate = cpuFactor * interference * pageFactor
+			f.rate = speed * cpuFactor * interference * pageFactor
 		}
+	}
+}
+
+// reclaimExecutor removes a killed executor and charges its lost partial
+// work back to the application: the partially-processed partitions must be
+// recomputed when the app is re-run, and an app that lost its last executor
+// goes back to waiting. Shared by the OOM-kill and node-failure paths so
+// the reprocessing accounting cannot diverge between them.
+func (c *Cluster) reclaimExecutor(victim *Executor) {
+	app := victim.App
+	c.removeExecutor(victim)
+	app.RemainingGB += c.cfg.OOMReprocessFrac * victim.ItemsGB
+	if app.RemainingGB > app.Job.InputGB {
+		app.RemainingGB = app.Job.InputGB
+	}
+	if len(app.Executors) == 0 && app.State == StateRunning {
+		app.State = StateReady
 	}
 }
 
@@ -457,25 +552,13 @@ func (c *Cluster) recomputeRates() {
 // within RAM+swap, mirroring the paper's re-run-on-OOM policy (the lost
 // executor's data stays in the app's remaining pool).
 func (c *Cluster) enforceOOM(n *Node) {
-	limit := c.cfg.UsableGB() + c.cfg.SwapGB
+	limit := n.Spec.UsableGB() + n.Spec.SwapGB
 	for n.ActualGB() > limit && len(n.Executors) > 0 {
 		victim := n.Executors[len(n.Executors)-1]
-		app := victim.App
-		app.OOMKills++
+		victim.App.OOMKills++
 		c.totalOOM++
-		c.removeExecutor(victim)
-		app.blockNode(n)
-		// The killed executor's partially-processed partitions must be
-		// recomputed when the app is re-run (the paper re-runs OOM-failed
-		// executors in isolation): charge half its allocation back.
-		app.RemainingGB += c.cfg.OOMReprocessFrac * victim.ItemsGB
-		if app.RemainingGB > app.Job.InputGB {
-			app.RemainingGB = app.Job.InputGB
-		}
-		if len(app.Executors) == 0 && app.State == StateRunning {
-			// The app goes back to waiting for executors.
-			app.State = StateReady
-		}
+		victim.App.blockNode(n)
+		c.reclaimExecutor(victim)
 	}
 }
 
@@ -525,6 +608,9 @@ func (c *Cluster) nextEventDt() (float64, bool) {
 		if dt := c.pending[0].At - c.now; dt < best {
 			best = dt
 		}
+	}
+	if dt, ok := c.nextNodeEventDt(); ok && dt < best {
+		best = dt
 	}
 	if c.trace != nil {
 		if dt := c.trace.nextSampleTime(c.now) - c.now; dt < best {
@@ -609,6 +695,7 @@ func (c *Cluster) result() *Result {
 		Foreign:     c.foreign,
 		MakespanSec: makespan,
 		OOMKills:    c.totalOOM,
+		FailKills:   c.totalFailKills,
 		Trace:       c.trace,
 	}
 }

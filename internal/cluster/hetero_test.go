@@ -1,0 +1,237 @@
+package cluster
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"moespark/internal/workload"
+)
+
+func testJob(t *testing.T, gb float64) workload.Job {
+	t.Helper()
+	b, err := workload.Find("HB.Sort")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return workload.Job{Bench: b, InputGB: gb}
+}
+
+func TestNodeSpecValidate(t *testing.T) {
+	good := DefaultConfig().DefaultNodeSpec()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("default spec invalid: %v", err)
+	}
+	bad := []NodeSpec{
+		{},
+		{RAMGB: 64, Cores: 16, SpeedFactor: 0, SwapGB: 16, OSReserveGB: 4},
+		{RAMGB: 64, Cores: 0, SpeedFactor: 1, SwapGB: 16, OSReserveGB: 4},
+		{RAMGB: 4, Cores: 16, SpeedFactor: 1, SwapGB: 16, OSReserveGB: 8},
+		{RAMGB: 64, Cores: 16, SpeedFactor: 1, SwapGB: -1, OSReserveGB: 4},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("bad spec %d (%+v) passed validation", i, s)
+		}
+	}
+}
+
+// TestPerNodeCapacity checks the capacity math reads each node's own spec.
+func TestPerNodeCapacity(t *testing.T) {
+	cfg := DefaultConfig()
+	big := NodeSpec{RAMGB: 128, Cores: 32, SpeedFactor: 1.25, SwapGB: 32, OSReserveGB: 6}
+	little := NodeSpec{RAMGB: 32, Cores: 8, SpeedFactor: 0.75, SwapGB: 8, OSReserveGB: 3}
+	c, err := NewHetero(cfg, []NodeSpec{big, little})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nb, nl := c.Nodes()[0], c.Nodes()[1]
+	if got, want := nb.UsableGB(), 122.0; got != want {
+		t.Errorf("big usable = %v, want %v", got, want)
+	}
+	if got, want := nl.UsableGB(), 29.0; got != want {
+		t.Errorf("little usable = %v, want %v", got, want)
+	}
+	if got, want := nb.AllocatableGB(), cfg.PressureWatermark*122; got != want {
+		t.Errorf("big allocatable = %v, want %v", got, want)
+	}
+	if got, want := nb.CPUCapacity(), 2.0; got != want {
+		t.Errorf("big CPU capacity = %v, want %v", got, want)
+	}
+	if got, want := nl.CPUCapacity(), 0.5; got != want {
+		t.Errorf("little CPU capacity = %v, want %v", got, want)
+	}
+}
+
+// TestSpeedFactorScalesRates runs the same single job on a fast and a slow
+// one-node cluster: completion time must scale inversely with speed.
+func TestSpeedFactorScalesRates(t *testing.T) {
+	cfg := DefaultConfig()
+	run := func(speed float64) float64 {
+		spec := cfg.DefaultNodeSpec()
+		spec.SpeedFactor = speed
+		c, err := NewHetero(cfg, []NodeSpec{spec})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := c.Run([]workload.Job{testJob(t, 10)}, fullSpeedScheduler{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.MakespanSec
+	}
+	fast, slow := run(2), run(0.5)
+	// Makespan includes the fixed startup latency; processing time scales 4x.
+	fastProc := fast - cfg.StartupSec
+	slowProc := slow - cfg.StartupSec
+	if ratio := slowProc / fastProc; ratio < 3.99 || ratio > 4.01 {
+		t.Errorf("slow/fast processing ratio = %v, want ~4 (speeds 0.5 vs 2)", ratio)
+	}
+}
+
+// TestDrainStopsPlacements drains a node mid-run: no executor may spawn on
+// it after the drain fires, and resident executors finish their work.
+func TestDrainStopsPlacements(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Nodes = 2
+	c := New(cfg)
+	if err := c.ScheduleNodeEvents(NodeEvent{At: 1, Kind: NodeDrain, Node: 0}); err != nil {
+		t.Fatal(err)
+	}
+	subs := []Submission{
+		{At: 0, Job: testJob(t, 20)},   // lands on both nodes before the drain
+		{At: 200, Job: testJob(t, 20)}, // arrives after: node 0 must be off-limits
+	}
+	res, err := c.RunOpen(subs, fullSpeedScheduler{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range res.Apps {
+		if a.DoneTime < 0 {
+			t.Fatalf("app %d never finished", a.ID)
+		}
+	}
+	if got := c.Nodes()[0].State(); got != NodeDraining {
+		t.Errorf("node 0 state = %v, want draining", got)
+	}
+	// Direct spawns on a draining node must be rejected too.
+	app := c.AddReadyApp(testJob(t, 10))
+	if _, err := c.Spawn(app, c.Nodes()[0], 10, 10); !errors.Is(err, ErrNodeUnavailable) {
+		t.Errorf("Spawn on draining node: err = %v, want ErrNodeUnavailable", err)
+	}
+}
+
+// TestFailKillsAndReprocesses fails the only busy node mid-run: its
+// executors die, the lost work is charged back, and the app completes on the
+// surviving node.
+func TestFailKillsAndReprocesses(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Nodes = 2
+	cfg.ExecutorSpreadGB = 100 // one executor for the whole job
+	c := New(cfg)
+	if err := c.ScheduleNodeEvents(NodeEvent{At: 30, Kind: NodeFail, Node: 0}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Run([]workload.Job{testJob(t, 50)}, fullSpeedScheduler{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FailKills != 1 {
+		t.Fatalf("fail kills = %d, want 1", res.FailKills)
+	}
+	if got := c.Nodes()[0].State(); got != NodeFailed {
+		t.Errorf("node 0 state = %v, want failed", got)
+	}
+	a := res.Apps[0]
+	if a.DoneTime < 0 {
+		t.Fatal("app never finished after the failure")
+	}
+	// The app must have restarted on node 1 and re-done the killed
+	// executor's reprocessing share, so it finishes later than an untouched
+	// run would.
+	c2 := New(cfg)
+	base, err := c2.Run([]workload.Job{testJob(t, 50)}, fullSpeedScheduler{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.DoneTime <= base.Apps[0].DoneTime {
+		t.Errorf("failed run finished at %v, not later than clean run %v", a.DoneTime, base.Apps[0].DoneTime)
+	}
+}
+
+// TestJoinAddsCapacity verifies a joined node becomes placeable and speeds
+// up a queued backlog relative to not joining.
+func TestJoinAddsCapacity(t *testing.T) {
+	jobs := []workload.Job{testJob(t, 30), testJob(t, 30), testJob(t, 30), testJob(t, 30)}
+	run := func(join bool) float64 {
+		cfg := DefaultConfig()
+		cfg.Nodes = 1
+		c := New(cfg)
+		if join {
+			spec := cfg.DefaultNodeSpec()
+			if err := c.ScheduleNodeEvents(NodeEvent{At: 20, Kind: NodeJoin, Spec: spec}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		res, err := c.Run(jobs, fullSpeedScheduler{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.MakespanSec
+	}
+	with, without := run(true), run(false)
+	if with >= without {
+		t.Errorf("makespan with join = %v, want < %v (without)", with, without)
+	}
+}
+
+// TestNodeEventValidation covers event-time and target validation.
+func TestNodeEventValidation(t *testing.T) {
+	c := New(DefaultConfig())
+	if err := c.ScheduleNodeEvents(NodeEvent{At: -1, Kind: NodeDrain, Node: 0}); err == nil {
+		t.Error("negative event time accepted")
+	}
+	if err := c.ScheduleNodeEvents(NodeEvent{At: 1, Kind: NodeEventKind(99), Node: 0}); err == nil {
+		t.Error("unknown event kind accepted")
+	}
+	if err := c.ScheduleNodeEvents(NodeEvent{At: 1, Kind: NodeFail, Node: 999}); err != nil {
+		t.Fatalf("deferred target validation should accept unknown node at schedule time: %v", err)
+	}
+	// ...but the run must fail when the event fires against a missing node.
+	_, err := c.Run([]workload.Job{testJob(t, 5)}, fullSpeedScheduler{})
+	if err == nil {
+		t.Error("run succeeded despite a fail event targeting a nonexistent node")
+	}
+}
+
+// TestStormEventsDeterministic pins the seeded storm generator.
+func TestStormEventsDeterministic(t *testing.T) {
+	a, err := StormEvents(40, 3, 2, 100, 500, 60, rand.New(rand.NewSource(9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := StormEvents(40, 3, 2, 100, 500, 60, rand.New(rand.NewSource(9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) || len(a) != 10 {
+		t.Fatalf("storm sizes %d vs %d, want 10 (5 events + 5 joins)", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Errorf("event %d differs across identical seeds: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	targets := map[int]bool{}
+	for _, ev := range a {
+		if ev.Kind != NodeJoin {
+			if targets[ev.Node] {
+				t.Errorf("storm targets node %d twice", ev.Node)
+			}
+			targets[ev.Node] = true
+		}
+	}
+	if _, err := StormEvents(4, 2, 2, 0, 100, 0, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("fleet-exhausting storm accepted")
+	}
+}

@@ -1,0 +1,214 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"moespark/internal/workload"
+)
+
+// SpecsFrom converts a workload fleet description into per-node specs for
+// NewHetero. (The conversion lives here because cluster already imports
+// workload; the reverse import would cycle.)
+func SpecsFrom(fleet []workload.NodeClass) []NodeSpec {
+	specs := make([]NodeSpec, len(fleet))
+	for i, c := range fleet {
+		specs[i] = NodeSpec{
+			RAMGB:       c.RAMGB,
+			Cores:       c.Cores,
+			SpeedFactor: c.SpeedFactor,
+			SwapGB:      c.SwapGB,
+			OSReserveGB: c.OSReserveGB,
+		}
+	}
+	return specs
+}
+
+// StormEvents generates a seeded drain/fail storm over an initial fleet of
+// nodeCount nodes: drains and fails hit distinct uniformly-drawn nodes at
+// uniform times in [start, start+span), and each failed or drained node is
+// replaced by a default-spec join one startup-latency later, modelling an
+// autoscaler backfilling lost capacity. The same seed yields the identical
+// storm.
+func StormEvents(nodeCount, drains, fails int, start, span, rejoinDelay float64, rng *rand.Rand) ([]NodeEvent, error) {
+	if nodeCount <= 0 {
+		return nil, fmt.Errorf("cluster: storm needs a positive node count, got %d", nodeCount)
+	}
+	if drains < 0 || fails < 0 || drains+fails == 0 {
+		return nil, fmt.Errorf("cluster: storm needs a non-negative mix of drains (%d) and fails (%d)", drains, fails)
+	}
+	if drains+fails >= nodeCount {
+		return nil, fmt.Errorf("cluster: storm of %d events would exhaust the %d-node fleet", drains+fails, nodeCount)
+	}
+	if start < 0 || span <= 0 || rejoinDelay < 0 {
+		return nil, fmt.Errorf("cluster: invalid storm window start=%v span=%v rejoin=%v", start, span, rejoinDelay)
+	}
+	perm := rng.Perm(nodeCount)
+	events := make([]NodeEvent, 0, 2*(drains+fails))
+	for i := 0; i < drains+fails; i++ {
+		at := start + rng.Float64()*span
+		kind := NodeDrain
+		if i >= drains {
+			kind = NodeFail
+		}
+		events = append(events, NodeEvent{At: at, Kind: kind, Node: perm[i]})
+		events = append(events, NodeEvent{At: at + rejoinDelay, Kind: NodeJoin})
+	}
+	return events, nil
+}
+
+// NodeEventKind enumerates timed node lifecycle events.
+type NodeEventKind int
+
+// Node lifecycle event kinds.
+const (
+	// NodeJoin adds a new node (with NodeEvent.Spec, or the platform default
+	// spec when zero) to the cluster.
+	NodeJoin NodeEventKind = iota + 1
+	// NodeDrain stops new placements on the target node; resident executors
+	// run to completion.
+	NodeDrain
+	// NodeFail removes the target node immediately: resident executors are
+	// killed and their partial work is charged back to their applications
+	// (OOMReprocessFrac), foreign tasks on the node are lost.
+	NodeFail
+)
+
+// String implements fmt.Stringer.
+func (k NodeEventKind) String() string {
+	switch k {
+	case NodeJoin:
+		return "join"
+	case NodeDrain:
+		return "drain"
+	case NodeFail:
+		return "fail"
+	default:
+		return fmt.Sprintf("NodeEventKind(%d)", int(k))
+	}
+}
+
+// NodeEvent is one timed node lifecycle event consumed by the engine: at time
+// At the node set changes. Together with Submissions, NodeEvents make the
+// open-system engine model churny fleets — scale-ups, rolling drains and
+// hardware failures — rather than the paper's fixed 40 nodes.
+type NodeEvent struct {
+	// At is the event time in simulation seconds.
+	At float64
+	// Kind selects join, drain or fail.
+	Kind NodeEventKind
+	// Node is the target node ID for drain and fail; ignored for join.
+	Node int
+	// Spec is the joining node's hardware (join only); the zero value means
+	// the platform's default spec.
+	Spec NodeSpec
+}
+
+// ScheduleNodeEvents registers lifecycle events before a run. Events may be
+// given in any order; ties keep their registration order. Target validity is
+// checked when the event fires (a join may create the target of a later
+// drain).
+func (c *Cluster) ScheduleNodeEvents(events ...NodeEvent) error {
+	for _, ev := range events {
+		if ev.At < 0 || math.IsNaN(ev.At) || math.IsInf(ev.At, 0) {
+			return fmt.Errorf("cluster: invalid node event time %v", ev.At)
+		}
+		switch ev.Kind {
+		case NodeJoin:
+			if ev.Spec != (NodeSpec{}) {
+				if err := ev.Spec.Validate(); err != nil {
+					return err
+				}
+			}
+		case NodeDrain, NodeFail:
+			if ev.Node < 0 {
+				return fmt.Errorf("cluster: %s event targets negative node %d", ev.Kind, ev.Node)
+			}
+		default:
+			return fmt.Errorf("cluster: unknown node event kind %v", ev.Kind)
+		}
+	}
+	c.nodeEvents = append(c.nodeEvents, events...)
+	sort.SliceStable(c.nodeEvents, func(i, j int) bool {
+		return c.nodeEvents[i].At < c.nodeEvents[j].At
+	})
+	return nil
+}
+
+// applyNodeEvents fires every scheduled lifecycle event whose time has come.
+func (c *Cluster) applyNodeEvents() error {
+	const eps = 1e-9
+	for len(c.nodeEvents) > 0 && c.nodeEvents[0].At <= c.now+eps {
+		ev := c.nodeEvents[0]
+		c.nodeEvents = c.nodeEvents[1:]
+		switch ev.Kind {
+		case NodeJoin:
+			spec := ev.Spec
+			if spec == (NodeSpec{}) {
+				spec = c.cfg.DefaultNodeSpec()
+			}
+			c.nodes = append(c.nodes, newNode(c.nextNodeID, spec, c.cfg, c.now))
+			c.nextNodeID++
+		case NodeDrain:
+			n, err := c.nodeByID(ev.Node, ev.Kind)
+			if err != nil {
+				return err
+			}
+			n.state = NodeDraining
+			n.StateTime = c.now
+		case NodeFail:
+			n, err := c.nodeByID(ev.Node, ev.Kind)
+			if err != nil {
+				return err
+			}
+			c.failNode(n)
+		}
+	}
+	return nil
+}
+
+// nodeByID resolves a lifecycle event target; failed nodes are no longer
+// valid targets.
+func (c *Cluster) nodeByID(id int, kind NodeEventKind) (*Node, error) {
+	for _, n := range c.nodes {
+		if n.ID == id {
+			if n.state == NodeFailed {
+				return nil, fmt.Errorf("cluster: %s event targets node %d, which already failed", kind, id)
+			}
+			return n, nil
+		}
+	}
+	return nil, fmt.Errorf("cluster: %s event targets unknown node %d", kind, id)
+}
+
+// failNode kills everything resident on the node and removes it from
+// placement. Killed executors charge reprocessing work back to their
+// applications, mirroring the OOM-kill path: a failure loses the same
+// partial state an OOM kill does.
+func (c *Cluster) failNode(n *Node) {
+	for len(n.Executors) > 0 {
+		victim := n.Executors[len(n.Executors)-1]
+		c.totalFailKills++
+		c.reclaimExecutor(victim)
+	}
+	for _, f := range n.Foreign {
+		if !f.done {
+			// The co-runner dies with its node; it never completes its work.
+			f.done = true
+			f.DoneTime = c.now
+			f.Lost = true
+		}
+	}
+	n.state = NodeFailed
+	n.StateTime = c.now
+}
+
+// nextNodeEventDt returns the time to the next scheduled lifecycle event.
+func (c *Cluster) nextNodeEventDt() (float64, bool) {
+	if len(c.nodeEvents) == 0 {
+		return 0, false
+	}
+	return c.nodeEvents[0].At - c.now, true
+}

@@ -1,16 +1,91 @@
 package cluster
 
+import "fmt"
+
+// NodeState tracks a node through its lifecycle.
+type NodeState int
+
+// Node lifecycle states.
+const (
+	// NodeActive: accepting placements and processing normally.
+	NodeActive NodeState = iota
+	// NodeDraining: no new placements; resident executors run to completion.
+	NodeDraining
+	// NodeFailed: the node is gone; its executors were killed when it
+	// failed.
+	NodeFailed
+)
+
+// String implements fmt.Stringer.
+func (s NodeState) String() string {
+	switch s {
+	case NodeActive:
+		return "active"
+	case NodeDraining:
+		return "draining"
+	case NodeFailed:
+		return "failed"
+	default:
+		return fmt.Sprintf("NodeState(%d)", int(s))
+	}
+}
+
 // Node is one computing node.
 type Node struct {
 	ID int
+
+	// Spec is the node's hardware description; all capacity and speed math
+	// reads it, so nodes in one cluster may differ.
+	Spec NodeSpec
 
 	// Executors placed on this node, in spawn order.
 	Executors []*Executor
 	// Foreign tasks (e.g. PARSEC co-runners) pinned to this node.
 	Foreign []*ForeignTask
 
-	cfg Config
+	// JoinTime is when the node entered the cluster (0 for the initial
+	// fleet); StateTime is when it last changed lifecycle state.
+	JoinTime  float64
+	StateTime float64
+
+	cfg    Config
+	state  NodeState
+	cpuCap float64
 }
+
+// newNode builds a node with its CPU capacity normalised against the
+// platform's baseline cores.
+func newNode(id int, spec NodeSpec, cfg Config, joinTime float64) *Node {
+	return &Node{
+		ID: id, Spec: spec, cfg: cfg,
+		JoinTime: joinTime, StateTime: joinTime,
+		cpuCap: float64(spec.Cores) / float64(cfg.baselineCores()),
+	}
+}
+
+// State returns the node's lifecycle state.
+func (n *Node) State() NodeState { return n.state }
+
+// Available reports whether the node accepts new placements.
+func (n *Node) Available() bool { return n.state == NodeActive }
+
+// UsableGB is this node's memory available to executors.
+func (n *Node) UsableGB() float64 { return n.Spec.UsableGB() }
+
+// AllocatableGB is the memory this node advertises for reservations: the
+// platform pressure watermark keeps a safety band below the node's physical
+// limit, exactly like YARN's node-manager resource setting.
+func (n *Node) AllocatableGB() float64 {
+	w := n.cfg.PressureWatermark
+	if w <= 0 || w > 1 {
+		w = 1
+	}
+	return w * n.Spec.UsableGB()
+}
+
+// CPUCapacity is the node's CPU capacity in baseline-node units: aggregate
+// demand beyond it is time-shared.
+func (n *Node) CPUCapacity() float64 { return n.cpuCap }
 
 // ReservedGB sums admission-time memory reservations (plus foreign working
 // sets).
@@ -39,7 +114,7 @@ func (n *Node) ActualGB() float64 {
 
 // FreeGB is the unreserved allocatable memory left on the node.
 func (n *Node) FreeGB() float64 {
-	free := n.cfg.AllocatableGB() - n.ReservedGB()
+	free := n.AllocatableGB() - n.ReservedGB()
 	if free < 0 {
 		return 0
 	}
@@ -60,9 +135,10 @@ func (n *Node) CPUDemand() float64 {
 	return s
 }
 
-// Utilization is the node's CPU utilization in [0,1].
+// Utilization is the node's CPU utilization in [0,1], relative to its own
+// capacity.
 func (n *Node) Utilization() float64 {
-	u := n.CPUDemand()
+	u := n.CPUDemand() / n.cpuCap
 	if u > 1 {
 		return 1
 	}
@@ -97,6 +173,8 @@ type ForeignTask struct {
 	// StartTime and DoneTime are simulation timestamps.
 	StartTime float64
 	DoneTime  float64
+	// Lost marks a task killed by a node failure before completing its work.
+	Lost bool
 }
 
 // Done reports completion.

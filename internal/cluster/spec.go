@@ -1,0 +1,76 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+)
+
+// NodeSpec is the hardware description of one computing node. The paper's
+// testbed is uniform (every node a 64 GB / 16-thread Xeon with 16 GB swap),
+// but real co-location fleets are heterogeneous: NodeSpec lets every node
+// carry its own capacity and speed, while platform-wide behaviour (penalty
+// shapes, watermarks, startup latency) stays in Config.
+type NodeSpec struct {
+	// RAMGB is the node's physical memory.
+	RAMGB float64
+	// Cores is the number of hardware threads. CPU demands are expressed as
+	// fractions of a Config.BaselineCores node, so a node with twice the
+	// baseline cores hosts twice the aggregate demand before saturating.
+	Cores int
+	// SpeedFactor scales executor processing rates on this node relative to
+	// the paper's reference machine (1.0). Stragglers sit below 1, newer
+	// hardware above.
+	SpeedFactor float64
+	// SwapGB is the node's swap space.
+	SwapGB float64
+	// OSReserveGB is memory unavailable to executors on this node.
+	OSReserveGB float64
+}
+
+// UsableGB is the node memory available to executors.
+func (s NodeSpec) UsableGB() float64 { return s.RAMGB - s.OSReserveGB }
+
+// Validate rejects physically meaningless specs.
+func (s NodeSpec) Validate() error {
+	for _, v := range []float64{s.RAMGB, s.SpeedFactor, s.SwapGB, s.OSReserveGB} {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("cluster: non-finite value in node spec %+v", s)
+		}
+	}
+	if s.RAMGB <= 0 || s.UsableGB() <= 0 {
+		return fmt.Errorf("cluster: node spec has no usable memory (%+v)", s)
+	}
+	if s.Cores <= 0 {
+		return fmt.Errorf("cluster: node spec needs positive cores (%+v)", s)
+	}
+	if s.SpeedFactor <= 0 {
+		return fmt.Errorf("cluster: node spec needs a positive speed factor (%+v)", s)
+	}
+	if s.SwapGB < 0 || s.OSReserveGB < 0 {
+		return fmt.Errorf("cluster: negative swap or OS reserve (%+v)", s)
+	}
+	return nil
+}
+
+// DefaultNodeSpec is the per-node view of the platform config: the spec every
+// node gets when the cluster is built homogeneously (the paper's testbed).
+func (c Config) DefaultNodeSpec() NodeSpec {
+	return NodeSpec{
+		RAMGB:       c.RAMGB,
+		Cores:       c.baselineCores(),
+		SpeedFactor: 1,
+		SwapGB:      c.SwapGB,
+		OSReserveGB: c.OSReserveGB,
+	}
+}
+
+// baselineCores resolves the reference core count, defaulting to the paper's
+// 16-thread nodes for configs predating the field.
+func (c Config) baselineCores() int {
+	if c.BaselineCores > 0 {
+		return c.BaselineCores
+	}
+	return defaultBaselineCores
+}
+
+const defaultBaselineCores = 16

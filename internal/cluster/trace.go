@@ -1,23 +1,28 @@
 package cluster
 
 // Trace records periodic per-node utilization samples, the data behind the
-// paper's Figure 7 heatmaps.
+// paper's Figure 7 heatmaps. The node set may vary over a run (joins, drains,
+// failures), so rows are ragged: row i covers exactly the nodes alive at
+// sample i, identified by NodeIDs[i].
 type Trace struct {
 	// Interval between samples in seconds.
 	Interval float64
 	// Times holds the sample timestamps.
 	Times []float64
-	// CPU[i][n] is node n's CPU utilization (0..1) at sample i.
+	// NodeIDs[i][k] is the node ID of column k in sample i. Failed nodes
+	// drop out of subsequent samples; joined nodes appear from their join.
+	NodeIDs [][]int
+	// CPU[i][k] is the CPU utilization (0..1) of node NodeIDs[i][k] at
+	// sample i.
 	CPU [][]float64
-	// MemGB[i][n] is node n's actual memory use at sample i.
+	// MemGB[i][k] is the actual memory use of node NodeIDs[i][k] at sample i.
 	MemGB [][]float64
 
-	nodes      int
 	nextSample float64
 }
 
-func newTrace(nodes int, interval float64) *Trace {
-	return &Trace{Interval: interval, nodes: nodes}
+func newTrace(interval float64) *Trace {
+	return &Trace{Interval: interval}
 }
 
 func (t *Trace) nextSampleTime(now float64) float64 {
@@ -30,13 +35,25 @@ func (t *Trace) nextSampleTime(now float64) float64 {
 func (t *Trace) maybeSample(now float64, nodes []*Node) {
 	const slack = 1e-6
 	for now+slack >= t.nextSample {
-		cpu := make([]float64, len(nodes))
-		mem := make([]float64, len(nodes))
-		for i, n := range nodes {
-			cpu[i] = n.Utilization()
-			mem[i] = n.ActualGB()
+		alive := 0
+		for _, n := range nodes {
+			if n.state != NodeFailed {
+				alive++
+			}
+		}
+		ids := make([]int, 0, alive)
+		cpu := make([]float64, 0, alive)
+		mem := make([]float64, 0, alive)
+		for _, n := range nodes {
+			if n.state == NodeFailed {
+				continue
+			}
+			ids = append(ids, n.ID)
+			cpu = append(cpu, n.Utilization())
+			mem = append(mem, n.ActualGB())
 		}
 		t.Times = append(t.Times, t.nextSample)
+		t.NodeIDs = append(t.NodeIDs, ids)
 		t.CPU = append(t.CPU, cpu)
 		t.MemGB = append(t.MemGB, mem)
 		t.nextSample += t.Interval
@@ -68,9 +85,10 @@ type ResourceMonitor struct {
 	c      *Cluster
 	window float64
 
-	// exponential-moving-average state per node
-	emaCPU []float64
-	emaMem []float64
+	// exponential-moving-average state, keyed by node ID so joins and
+	// failures keep readings attached to the right machine.
+	emaCPU map[int]float64
+	emaMem map[int]float64
 	last   float64
 	seeded bool
 }
@@ -81,13 +99,15 @@ func NewResourceMonitor(c *Cluster, windowSec float64) *ResourceMonitor {
 	return &ResourceMonitor{
 		c:      c,
 		window: windowSec,
-		emaCPU: make([]float64, len(c.nodes)),
-		emaMem: make([]float64, len(c.nodes)),
+		emaCPU: make(map[int]float64, len(c.nodes)),
+		emaMem: make(map[int]float64, len(c.nodes)),
 	}
 }
 
 // Observe folds the current node state into the windowed averages; the
-// engine-driving code calls it on scheduling events.
+// engine-driving code calls it on scheduling events. Nodes joining
+// mid-window seed from their first reading; failed nodes keep their last
+// reading.
 func (m *ResourceMonitor) Observe() {
 	now := m.c.Now()
 	alpha := 1.0
@@ -101,16 +121,19 @@ func (m *ResourceMonitor) Observe() {
 			alpha = 1
 		}
 	}
-	for i, n := range m.c.nodes {
+	for _, n := range m.c.nodes {
+		if n.state == NodeFailed {
+			continue
+		}
 		cpu := n.CPUDemand()
 		mem := n.ActualGB()
-		if !m.seeded {
-			m.emaCPU[i] = cpu
-			m.emaMem[i] = mem
-		} else {
-			m.emaCPU[i] += alpha * (cpu - m.emaCPU[i])
-			m.emaMem[i] += alpha * (mem - m.emaMem[i])
+		if _, ok := m.emaCPU[n.ID]; !ok {
+			m.emaCPU[n.ID] = cpu
+			m.emaMem[n.ID] = mem
+			continue
 		}
+		m.emaCPU[n.ID] += alpha * (cpu - m.emaCPU[n.ID])
+		m.emaMem[n.ID] += alpha * (mem - m.emaMem[n.ID])
 	}
 	m.seeded = true
 	m.last = now

@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestHeteroFleetsAndStorm(t *testing.T) {
+	ctx := quickCtx()
+	ctx.MixesPerScenario = 8 // one stream per fleet
+	r, err := Hetero(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Fleets) != 4 {
+		t.Fatalf("%d fleet scenarios, want 4 (uniform, bimodal, stragglers, storm)", len(r.Fleets))
+	}
+	byName := func(fr HeteroFleetResult, name string) HeteroSchemeResult {
+		for _, s := range fr.Schemes {
+			if s.Scheme == name {
+				return s
+			}
+		}
+		t.Fatalf("scheme %s missing on fleet %s", name, fr.Fleet)
+		return HeteroSchemeResult{}
+	}
+	var storm *HeteroFleetResult
+	for i := range r.Fleets {
+		fr := &r.Fleets[i]
+		if fr.Fleet == "storm" {
+			storm = fr
+		}
+		for _, s := range fr.Schemes {
+			if s.ThroughputJobsPerHour <= 0 {
+				t.Errorf("fleet %s scheme %s: no throughput", fr.Fleet, s.Scheme)
+			}
+			if s.P95SojournSec <= 0 || s.MeanSojournSec <= 0 {
+				t.Errorf("fleet %s scheme %s: non-positive sojourn %+v", fr.Fleet, s.Scheme, s)
+			}
+			if s.UtilizationCV < 0 {
+				t.Errorf("fleet %s scheme %s: negative imbalance", fr.Fleet, s.Scheme)
+			}
+		}
+		// Co-location must beat serial isolation on every fleet.
+		iso, moe := byName(*fr, "Isolated"), byName(*fr, "MoE")
+		if iso.ThroughputJobsPerHour >= moe.ThroughputJobsPerHour {
+			t.Errorf("fleet %s: isolated throughput %.1f should trail MoE %.1f",
+				fr.Fleet, iso.ThroughputJobsPerHour, moe.ThroughputJobsPerHour)
+		}
+	}
+	if storm == nil {
+		t.Fatal("storm scenario missing")
+	}
+	var anyFailKills bool
+	for _, s := range storm.Schemes {
+		if s.FailKills > 0 {
+			anyFailKills = true
+		}
+	}
+	if !anyFailKills {
+		t.Error("storm scenario produced no node-failure kills under any scheme")
+	}
+	tables := r.Tables()
+	if len(tables) != 4 || !strings.Contains(tables[0].String(), "fleet") {
+		t.Error("hetero tables broken")
+	}
+}
+
+func TestHeteroDeterministicAcrossWorkerCounts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("hetero determinism check runs in the full suite")
+	}
+	ctx := quickCtx()
+	ctx.MixesPerScenario = 8
+	ctx.Workers = 1
+	a, err := Hetero(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx.Workers = 4
+	b, err := Hetero(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Fleets) != len(b.Fleets) {
+		t.Fatal("fleet counts differ")
+	}
+	for i := range a.Fleets {
+		for j := range a.Fleets[i].Schemes {
+			x, y := a.Fleets[i].Schemes[j], b.Fleets[i].Schemes[j]
+			if x != y {
+				t.Errorf("fleet %s scheme %s: %+v vs %+v", a.Fleets[i].Fleet, x.Scheme, x, y)
+			}
+		}
+	}
+}

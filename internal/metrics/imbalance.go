@@ -1,0 +1,100 @@
+package metrics
+
+import (
+	"errors"
+	"math"
+
+	"moespark/internal/cluster"
+)
+
+// Imbalance summarises how unevenly CPU load spreads across the fleet,
+// computed from a utilization trace. Placement quality on heterogeneous
+// fleets shows up here: a scheduler that dogpiles the fast nodes or strands
+// the little ones has a high coefficient of variation even when mean
+// utilization looks healthy.
+type Imbalance struct {
+	// Samples is the number of trace samples measured.
+	Samples int
+	// MeanUtilization is the time-averaged CPU utilization across all alive
+	// nodes and samples.
+	MeanUtilization float64
+	// MeanCV is the time-averaged coefficient of variation (stddev/mean) of
+	// per-node utilization; 0 is a perfectly balanced fleet. Samples with
+	// zero mean utilization (an idle fleet) contribute 0.
+	MeanCV float64
+	// PeakCV is the worst single-sample coefficient of variation.
+	PeakCV float64
+	// NodeMeanMin and NodeMeanMax bound the per-node time-averaged
+	// utilizations: the spread between the least- and most-loaded machine
+	// over the run.
+	NodeMeanMin float64
+	NodeMeanMax float64
+}
+
+// ErrNoTrace is returned when imbalance is requested without trace samples.
+var ErrNoTrace = errors.New("metrics: no utilization trace (set Config.TraceInterval)")
+
+// UtilizationImbalance computes fleet-imbalance metrics from a trace. The
+// trace may cover a varying node set (joins, drains, failures): per-sample
+// statistics use whichever nodes were alive at that sample, and per-node
+// means average each node over the samples it appears in.
+func UtilizationImbalance(tr *cluster.Trace) (Imbalance, error) {
+	var im Imbalance
+	if tr == nil || len(tr.CPU) == 0 {
+		return im, ErrNoTrace
+	}
+	var cvSum, utilSum float64
+	var utilN int
+	nodeSum := map[int]float64{}
+	nodeN := map[int]int{}
+	for i, row := range tr.CPU {
+		if len(row) == 0 {
+			continue
+		}
+		var mean float64
+		for k, u := range row {
+			mean += u
+			utilSum += u
+			utilN++
+			id := tr.NodeIDs[i][k]
+			nodeSum[id] += u
+			nodeN[id]++
+		}
+		mean /= float64(len(row))
+		cv := 0.0
+		if mean > 0 {
+			var varSum float64
+			for _, u := range row {
+				d := u - mean
+				varSum += d * d
+			}
+			cv = math.Sqrt(varSum/float64(len(row))) / mean
+		}
+		cvSum += cv
+		if cv > im.PeakCV {
+			im.PeakCV = cv
+		}
+		im.Samples++
+	}
+	if im.Samples == 0 {
+		return im, ErrNoTrace
+	}
+	im.MeanCV = cvSum / float64(im.Samples)
+	if utilN > 0 {
+		im.MeanUtilization = utilSum / float64(utilN)
+	}
+	im.NodeMeanMin = math.Inf(1)
+	for id, s := range nodeSum {
+		m := s / float64(nodeN[id])
+		if m < im.NodeMeanMin {
+			im.NodeMeanMin = m
+		}
+		if m > im.NodeMeanMax {
+			im.NodeMeanMax = m
+		}
+	}
+	if math.IsInf(im.NodeMeanMin, 1) {
+		im.NodeMeanMin = 0
+	}
+	return im, nil
+}

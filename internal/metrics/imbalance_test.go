@@ -1,0 +1,101 @@
+package metrics
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"moespark/internal/cluster"
+)
+
+func traceOf(times []float64, ids [][]int, cpu [][]float64) *cluster.Trace {
+	return &cluster.Trace{Interval: 10, Times: times, NodeIDs: ids, CPU: cpu, MemGB: cpu}
+}
+
+func TestImbalanceBalancedFleet(t *testing.T) {
+	tr := traceOf(
+		[]float64{0, 10},
+		[][]int{{0, 1}, {0, 1}},
+		[][]float64{{0.5, 0.5}, {0.8, 0.8}},
+	)
+	im, err := UtilizationImbalance(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if im.MeanCV != 0 || im.PeakCV != 0 {
+		t.Errorf("balanced fleet CV = %v/%v, want 0/0", im.MeanCV, im.PeakCV)
+	}
+	if got, want := im.MeanUtilization, 0.65; math.Abs(got-want) > 1e-12 {
+		t.Errorf("mean utilization = %v, want %v", got, want)
+	}
+	if im.NodeMeanMin != im.NodeMeanMax {
+		t.Errorf("per-node means differ on a balanced fleet: %v vs %v", im.NodeMeanMin, im.NodeMeanMax)
+	}
+}
+
+func TestImbalanceSkewedFleet(t *testing.T) {
+	// One node at full load, one idle: CV = stddev/mean = 0.5/0.5 = 1.
+	tr := traceOf(
+		[]float64{0},
+		[][]int{{0, 1}},
+		[][]float64{{1, 0}},
+	)
+	im, err := UtilizationImbalance(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(im.MeanCV-1) > 1e-12 || math.Abs(im.PeakCV-1) > 1e-12 {
+		t.Errorf("skewed fleet CV = %v/%v, want 1/1", im.MeanCV, im.PeakCV)
+	}
+	if im.NodeMeanMin != 0 || im.NodeMeanMax != 1 {
+		t.Errorf("per-node spread = [%v, %v], want [0, 1]", im.NodeMeanMin, im.NodeMeanMax)
+	}
+}
+
+func TestImbalanceVaryingNodeSet(t *testing.T) {
+	// Node 2 joins at the second sample; node 0 fails before the third.
+	tr := traceOf(
+		[]float64{0, 10, 20},
+		[][]int{{0, 1}, {0, 1, 2}, {1, 2}},
+		[][]float64{{0.4, 0.6}, {0.3, 0.6, 0.9}, {0.5, 0.7}},
+	)
+	im, err := UtilizationImbalance(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if im.Samples != 3 {
+		t.Fatalf("samples = %d, want 3", im.Samples)
+	}
+	// Node 0 mean = (0.4+0.3)/2 = 0.35, node 1 = 0.6 exactly, node 2 = 0.8.
+	if math.Abs(im.NodeMeanMin-0.35) > 1e-12 {
+		t.Errorf("min node mean = %v, want 0.35", im.NodeMeanMin)
+	}
+	if math.Abs(im.NodeMeanMax-0.8) > 1e-12 {
+		t.Errorf("max node mean = %v, want 0.8", im.NodeMeanMax)
+	}
+}
+
+func TestImbalanceNoTrace(t *testing.T) {
+	if _, err := UtilizationImbalance(nil); !errors.Is(err, ErrNoTrace) {
+		t.Errorf("nil trace: err = %v, want ErrNoTrace", err)
+	}
+	if _, err := UtilizationImbalance(&cluster.Trace{}); !errors.Is(err, ErrNoTrace) {
+		t.Errorf("empty trace: err = %v, want ErrNoTrace", err)
+	}
+}
+
+// TestImbalanceIdleSamplesContributeZero pins the zero-mean convention.
+func TestImbalanceIdleSamplesContributeZero(t *testing.T) {
+	tr := traceOf(
+		[]float64{0, 10},
+		[][]int{{0, 1}, {0, 1}},
+		[][]float64{{0, 0}, {1, 0}},
+	)
+	im, err := UtilizationImbalance(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(im.MeanCV-0.5) > 1e-12 {
+		t.Errorf("mean CV = %v, want 0.5 (idle sample contributes 0, skewed contributes 1)", im.MeanCV)
+	}
+}

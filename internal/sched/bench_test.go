@@ -1,0 +1,53 @@
+package sched
+
+import (
+	"testing"
+
+	"moespark/internal/cluster"
+	"moespark/internal/workload"
+)
+
+// benchCluster builds the placement-hot-path fixture: a 40-node cluster whose
+// memory is fully reserved by resident filler applications, plus a 64-app
+// waiting queue. Every Schedule call must scan all (app, node) pairs and
+// place nothing, which isolates the dispatcher's candidate-selection loop —
+// the hot path a scoring Placer must not make more expensive.
+func benchCluster(b *testing.B) *cluster.Cluster {
+	b.Helper()
+	cfg := cluster.DefaultConfig()
+	c := cluster.New(cfg)
+	bench := workload.Catalog()[0]
+	for _, n := range c.Nodes() {
+		filler := c.AddReadyApp(workload.Job{Bench: bench, InputGB: cfg.ExecutorSpreadGB})
+		if _, err := c.Spawn(filler, n, c.Config().AllocatableGB(), filler.Job.InputGB); err != nil {
+			b.Fatalf("filling node %d: %v", n.ID, err)
+		}
+	}
+	for i := 0; i < 64; i++ {
+		c.AddReadyApp(workload.Job{Bench: workload.Catalog()[i%len(workload.Catalog())], InputGB: 30})
+	}
+	return c
+}
+
+func benchmarkSchedule(b *testing.B, d *Dispatcher) {
+	c := benchCluster(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Schedule(c)
+	}
+}
+
+// BenchmarkDispatcherSchedule times Dispatcher.Schedule with the default
+// (first-fit) placement over a 40-node / 64-waiting-app cluster.
+func BenchmarkDispatcherSchedule(b *testing.B) {
+	benchmarkSchedule(b, NewOracle())
+}
+
+// BenchmarkDispatcherScheduleScored is the same hot path with an explicit
+// scoring Placer, measuring the overhead of candidate scoring and ranking.
+func BenchmarkDispatcherScheduleScored(b *testing.B) {
+	d := NewOracle()
+	d.Placer = NewBestFitMemory()
+	benchmarkSchedule(b, d)
+}

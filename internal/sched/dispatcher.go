@@ -5,14 +5,19 @@ import (
 )
 
 // Dispatcher is the paper's job dispatcher (Section 4.3) generalised over
-// estimators. It walks the FCFS queue on every scheduling event and spawns
-// executors on nodes with spare reserved memory, provided the aggregate CPU
-// load stays under 100 %.
+// estimators and placement strategies. It walks the FCFS queue on every
+// scheduling event and spawns executors on nodes with spare reserved memory,
+// provided the aggregate CPU load stays under the node's capacity. Candidate
+// nodes are ranked by the Placer; the default reproduces the historical
+// first-fit scan exactly.
 type Dispatcher struct {
 	// PolicyName is reported by Name().
 	PolicyName string
 	// Est supplies memory predictions; nil disables prediction (Pairwise).
 	Est Estimator
+	// Placer ranks admissible candidate nodes for each placement; nil means
+	// first fit in node-scan order (the historical behaviour).
+	Placer Placer
 	// Serial restricts execution to one application at a time (the
 	// isolated-execution baseline).
 	Serial bool
@@ -26,6 +31,12 @@ type Dispatcher struct {
 	SafetyMargin float64
 	// CheckCPU enforces the dispatcher's aggregate-CPU admission rule.
 	CheckCPU bool
+
+	// Reusable scratch buffers: Schedule sits on the simulation's hottest
+	// path, and regrowing these every call shows up in the placement
+	// benchmark.
+	cand    scoredNodes
+	waitBuf []*cluster.App
 }
 
 var _ cluster.Scheduler = (*Dispatcher)(nil)
@@ -50,7 +61,7 @@ func (d *Dispatcher) Schedule(c *cluster.Cluster) {
 	// Two passes: applications with no executor yet go first so waiting
 	// jobs start as soon as possible (Section 4.3), then everyone grows
 	// towards its fleet cap, FCFS within each pass.
-	waiting := c.WaitingApps()
+	waiting := d.appendWaiting(c)
 	for _, app := range waiting {
 		if len(app.Executors) == 0 {
 			d.placeApp(c, app)
@@ -70,6 +81,13 @@ func (d *Dispatcher) Schedule(c *cluster.Cluster) {
 			}
 		}
 	}
+}
+
+// appendWaiting fills the reusable waiting-queue buffer without allocating
+// per call.
+func (d *Dispatcher) appendWaiting(c *cluster.Cluster) []*cluster.App {
+	d.waitBuf = c.AppendWaitingApps(d.waitBuf[:0])
+	return d.waitBuf
 }
 
 // growExecutors widens shrunken data allocations toward the fair share when
@@ -123,11 +141,11 @@ func (d *Dispatcher) scheduleSerial(c *cluster.Cluster) {
 		if len(head.Executors) >= head.MaxExecutors || head.RemainingGB <= 0 {
 			return
 		}
-		if len(n.Executors) > 0 || head.ExecutorOn(n) {
+		if !n.Available() || len(n.Executors) > 0 || head.ExecutorOn(n) {
 			continue
 		}
 		share := remainingShare(head)
-		if _, err := c.Spawn(head, n, c.Config().AllocatableGB(), share); err != nil {
+		if _, err := c.Spawn(head, n, n.AllocatableGB(), share); err != nil {
 			continue
 		}
 	}
@@ -142,14 +160,21 @@ func remainingShare(app *cluster.App) float64 {
 	return app.RemainingGB / float64(slots)
 }
 
-// placeApp tries to spawn executors for one application on every compatible
-// node.
+// placeApp tries to spawn executors for one application on compatible nodes,
+// best Placer score first. Admission checks are independent across nodes
+// (a spawn on one node changes neither another node's free memory nor its
+// CPU demand), so gathering candidates before spawning places exactly the
+// executors the interleaved first-fit scan used to.
 func (d *Dispatcher) placeApp(c *cluster.Cluster, app *cluster.App) {
+	if len(app.Executors) >= app.MaxExecutors || app.RemainingGB <= 0 {
+		return
+	}
 	cfg := c.Config()
 	demand := app.Job.Bench.CPULoad
+	d.cand.reset()
 	for _, n := range c.Nodes() {
-		if len(app.Executors) >= app.MaxExecutors || app.RemainingGB <= 0 {
-			return
+		if !n.Available() {
+			continue
 		}
 		if app.ExecutorOn(n) || (app.BlockedOn(n) && len(n.Executors) > 0) {
 			continue
@@ -157,14 +182,26 @@ func (d *Dispatcher) placeApp(c *cluster.Cluster, app *cluster.App) {
 		if d.MaxAppsPerNode > 0 && n.AppCount() >= d.MaxAppsPerNode {
 			continue
 		}
-		if d.CheckCPU && n.CPUDemand()+demand > 1.0+1e-9 {
+		if d.CheckCPU && n.CPUDemand()+demand > n.CPUCapacity()+1e-9 {
 			continue
 		}
-		free := n.FreeGB()
-		if free <= cfg.MinChunkGB {
+		if n.FreeGB() <= cfg.MinChunkGB {
 			continue
 		}
-		reserve, items, ok := d.plan(cfg, app, n, free)
+		score := 0.0
+		if d.Placer != nil {
+			score = d.Placer.Score(c, app, n)
+		}
+		d.cand.add(n, score)
+	}
+	if d.Placer != nil {
+		d.cand.sortByScore()
+	}
+	for _, n := range d.cand.nodes {
+		if len(app.Executors) >= app.MaxExecutors || app.RemainingGB <= 0 {
+			return
+		}
+		reserve, items, ok := d.plan(cfg, app, n, n.FreeGB())
 		if !ok {
 			continue
 		}
@@ -191,7 +228,7 @@ func (d *Dispatcher) plan(cfg cluster.Config, app *cluster.App, n *cluster.Node,
 		if d.ReserveAllFree && len(n.Executors) > 0 {
 			return free, share, true
 		}
-		half := cfg.AllocatableGB() / 2
+		half := n.AllocatableGB() / 2
 		if half > free {
 			half = free
 		}

@@ -1,0 +1,106 @@
+package sched
+
+import (
+	"sort"
+
+	"moespark/internal/cluster"
+)
+
+// Placer scores candidate nodes for an executor placement. The dispatcher
+// gathers the nodes that pass its admission checks (availability, memory,
+// CPU, per-node app caps), asks the Placer to score each, and attempts
+// placements in descending score order; ties keep node-scan order, so a
+// constant-scoring Placer reproduces the classic first-fit dispatcher
+// exactly.
+type Placer interface {
+	// Name identifies the placement strategy in reports.
+	Name() string
+	// Score rates placing an executor of app on n; higher is better. The
+	// score is consulted only among nodes that already passed admission.
+	Score(c *cluster.Cluster, app *cluster.App, n *cluster.Node) float64
+}
+
+// firstFit scores every node equally: placements happen in node-scan order,
+// byte-for-byte the dispatcher's historical behaviour.
+type firstFit struct{}
+
+// NewFirstFit returns the default placement strategy: first fit in node-scan
+// order, identical to the pre-Placer dispatcher.
+func NewFirstFit() Placer { return firstFit{} }
+
+func (firstFit) Name() string { return "first-fit" }
+
+func (firstFit) Score(*cluster.Cluster, *cluster.App, *cluster.Node) float64 { return 0 }
+
+// bestFitMemory prefers the candidate with the least free memory — classic
+// best-fit bin packing, which keeps big contiguous holes open for
+// memory-hungry applications on heterogeneous fleets.
+type bestFitMemory struct{}
+
+// NewBestFitMemory returns the tightest-fit-first placement strategy.
+func NewBestFitMemory() Placer { return bestFitMemory{} }
+
+func (bestFitMemory) Name() string { return "best-fit-memory" }
+
+func (bestFitMemory) Score(_ *cluster.Cluster, _ *cluster.App, n *cluster.Node) float64 {
+	return -n.FreeGB()
+}
+
+// speedAware prefers fast, idle machines: score is the node's speed factor
+// discounted by its current utilization (CPU demand relative to the node's
+// own capacity, so a half-loaded 32-core node outranks an idle 8-core one
+// with the same speed), landing executors on the hardware that will process
+// their items quickest. On a homogeneous idle fleet it degenerates to first
+// fit.
+type speedAware struct{}
+
+// NewSpeedAware returns the speed-aware placement strategy for
+// heterogeneous fleets.
+func NewSpeedAware() Placer { return speedAware{} }
+
+func (speedAware) Name() string { return "speed-aware" }
+
+func (speedAware) Score(_ *cluster.Cluster, _ *cluster.App, n *cluster.Node) float64 {
+	return n.Spec.SpeedFactor / (1 + n.CPUDemand()/n.CPUCapacity())
+}
+
+// scoredNodes is the dispatcher's reusable candidate buffer: nodes plus their
+// scores, sorted descending by score with ties in original (node-scan) order.
+// It implements sort.Interface on parallel slices so sorting allocates
+// nothing once the buffers are warm.
+type scoredNodes struct {
+	nodes  []*cluster.Node
+	scores []float64
+	order  []int // original gather order, the stable tie-break
+}
+
+func (s *scoredNodes) reset() {
+	s.nodes = s.nodes[:0]
+	s.scores = s.scores[:0]
+	s.order = s.order[:0]
+}
+
+func (s *scoredNodes) add(n *cluster.Node, score float64) {
+	s.nodes = append(s.nodes, n)
+	s.scores = append(s.scores, score)
+	s.order = append(s.order, len(s.order))
+}
+
+func (s *scoredNodes) Len() int { return len(s.nodes) }
+
+func (s *scoredNodes) Less(i, j int) bool {
+	if s.scores[i] != s.scores[j] {
+		return s.scores[i] > s.scores[j]
+	}
+	return s.order[i] < s.order[j]
+}
+
+func (s *scoredNodes) Swap(i, j int) {
+	s.nodes[i], s.nodes[j] = s.nodes[j], s.nodes[i]
+	s.scores[i], s.scores[j] = s.scores[j], s.scores[i]
+	s.order[i], s.order[j] = s.order[j], s.order[i]
+}
+
+// sortByScore orders candidates best-first; the embedded original order makes
+// the sort stable without sort.SliceStable's allocations.
+func (s *scoredNodes) sortByScore() { sort.Sort(s) }

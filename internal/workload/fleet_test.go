@@ -1,0 +1,80 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestUniformFleet(t *testing.T) {
+	fleet, err := UniformFleet(7, PaperNode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fleet) != 7 {
+		t.Fatalf("fleet size = %d, want 7", len(fleet))
+	}
+	for i, n := range fleet {
+		if n != PaperNode() {
+			t.Errorf("node %d = %+v, want the paper node", i, n)
+		}
+	}
+	if _, err := UniformFleet(0, PaperNode()); err == nil {
+		t.Error("zero-size fleet accepted")
+	}
+}
+
+func TestBimodalFleetSeededAndMixed(t *testing.T) {
+	a, err := BimodalFleet(100, BigNode(), LittleNode(), 0.5, rand.New(rand.NewSource(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BimodalFleet(100, BigNode(), LittleNode(), 0.5, rand.New(rand.NewSource(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bigs int
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("node %d differs across identical seeds", i)
+		}
+		if a[i] == BigNode() {
+			bigs++
+		} else if a[i] != LittleNode() {
+			t.Fatalf("node %d is neither class: %+v", i, a[i])
+		}
+	}
+	if bigs < 30 || bigs > 70 {
+		t.Errorf("bigs = %d of 100 at bigFrac 0.5, badly unbalanced", bigs)
+	}
+	if _, err := BimodalFleet(10, BigNode(), LittleNode(), 1.5, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("bigFrac > 1 accepted")
+	}
+}
+
+func TestStragglerFleetTail(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	fleet, err := StragglerFleet(200, PaperNode(), 0.25, 0.4, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stragglers int
+	for i, n := range fleet {
+		if n.SpeedFactor > 1 || n.SpeedFactor < 0.4 {
+			t.Errorf("node %d speed %v outside [0.4, 1]", i, n.SpeedFactor)
+		}
+		if n.SpeedFactor < 1 {
+			stragglers++
+		}
+		base := PaperNode()
+		base.SpeedFactor = n.SpeedFactor
+		if n != base {
+			t.Errorf("node %d changed non-speed fields: %+v", i, n)
+		}
+	}
+	if stragglers < 25 || stragglers > 75 {
+		t.Errorf("stragglers = %d of 200 at frac 0.25", stragglers)
+	}
+	if _, err := StragglerFleet(10, PaperNode(), 0.25, 1.5, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("floor speed above base accepted")
+	}
+}

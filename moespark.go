@@ -13,8 +13,14 @@
 //   - seeded arrival-process generators (Poisson, bursty on/off, diurnal
 //     ramp) and queueing metrics (wait, sojourn percentiles, windowed
 //     throughput) for the open-system setting,
+//   - heterogeneous fleets: per-node hardware specs (NewHeteroCluster),
+//     seeded fleet generators (uniform, bimodal big/little, long-tail
+//     stragglers), timed node lifecycle events (join, drain, fail) and
+//     fleet-imbalance metrics,
 //   - the paper's co-location schedulers (Pairwise, Quasar, MoE, Oracle,
-//     OnlineSearch, unified single-model baselines), and
+//     OnlineSearch, unified single-model baselines), each accepting a
+//     pluggable placement scorer (first-fit, best-fit-memory, speed-aware),
+//     and
 //   - the evaluation harness that regenerates every table and figure of the
 //     paper (see internal/experiments and cmd/reproduce).
 //
@@ -85,12 +91,27 @@ type (
 	Cluster = cluster.Cluster
 	// ClusterConfig describes the simulated platform.
 	ClusterConfig = cluster.Config
+	// NodeSpec is one node's hardware description (heterogeneous fleets).
+	NodeSpec = cluster.NodeSpec
+	// NodeEvent is one timed node lifecycle event (join, drain, fail).
+	NodeEvent = cluster.NodeEvent
+	// NodeEventKind enumerates node lifecycle event kinds.
+	NodeEventKind = cluster.NodeEventKind
+	// NodeClass describes one node class for the fleet generators.
+	NodeClass = workload.NodeClass
 	// Scheduler is a co-location policy driving the simulator.
 	Scheduler = cluster.Scheduler
+	// Dispatcher is the configurable job dispatcher behind every scheduler
+	// constructor; its Placer field selects the placement scorer.
+	Dispatcher = sched.Dispatcher
+	// Placer scores candidate nodes for executor placement.
+	Placer = sched.Placer
 	// Submission is one timed arrival consumed by Cluster.RunOpen.
 	Submission = cluster.Submission
 	// Result summarises a simulation run.
 	Result = cluster.Result
+	// Imbalance summarises fleet utilization imbalance from a trace.
+	Imbalance = metrics.Imbalance
 
 	// RunMetrics holds the paper's STP / ANTT metrics for one run.
 	RunMetrics = metrics.RunMetrics
@@ -107,6 +128,13 @@ const (
 	LinearPower  = memfunc.LinearPower
 	Exponential  = memfunc.Exponential
 	NapierianLog = memfunc.NapierianLog
+)
+
+// Node lifecycle event kinds.
+const (
+	NodeJoin  = cluster.NodeJoin
+	NodeDrain = cluster.NodeDrain
+	NodeFail  = cluster.NodeFail
 )
 
 // TrainModel trains a mixture-of-experts predictor on arbitrary training
@@ -160,6 +188,57 @@ func DefaultClusterConfig() ClusterConfig { return cluster.DefaultConfig() }
 
 // NewCluster creates an idle simulated cluster.
 func NewCluster(cfg ClusterConfig) *Cluster { return cluster.New(cfg) }
+
+// NewHeteroCluster creates an idle heterogeneous cluster with one node per
+// spec; platform-wide behaviour still comes from cfg.
+func NewHeteroCluster(cfg ClusterConfig, specs []NodeSpec) (*Cluster, error) {
+	return cluster.NewHetero(cfg, specs)
+}
+
+// PaperNodeClass is the paper's testbed machine; BigNodeClass and
+// LittleNodeClass are the bimodal-fleet classes.
+func PaperNodeClass() NodeClass  { return workload.PaperNode() }
+func BigNodeClass() NodeClass    { return workload.BigNode() }
+func LittleNodeClass() NodeClass { return workload.LittleNode() }
+
+// UniformFleet returns n identical nodes of the given class.
+func UniformFleet(n int, class NodeClass) ([]NodeClass, error) {
+	return workload.UniformFleet(n, class)
+}
+
+// BimodalFleet returns a seeded n-node big/little mix.
+func BimodalFleet(n int, big, little NodeClass, bigFrac float64, rng *rand.Rand) ([]NodeClass, error) {
+	return workload.BimodalFleet(n, big, little, bigFrac, rng)
+}
+
+// StragglerFleet returns a seeded n-node fleet with a long-tail slow
+// fraction.
+func StragglerFleet(n int, base NodeClass, stragglerFrac, minSpeed float64, rng *rand.Rand) ([]NodeClass, error) {
+	return workload.StragglerFleet(n, base, stragglerFrac, minSpeed, rng)
+}
+
+// SpecsFromFleet converts a fleet description into per-node specs for
+// NewHeteroCluster.
+func SpecsFromFleet(fleet []NodeClass) []NodeSpec { return cluster.SpecsFrom(fleet) }
+
+// StormEvents generates a seeded drain/fail storm with backfill joins over
+// an initial fleet of nodeCount nodes.
+func StormEvents(nodeCount, drains, fails int, start, span, rejoinDelay float64, rng *rand.Rand) ([]NodeEvent, error) {
+	return cluster.StormEvents(nodeCount, drains, fails, start, span, rejoinDelay, rng)
+}
+
+// Placement scorers for Dispatcher.Placer: first fit (the default
+// behaviour), tightest-memory-fit bin packing, and speed-aware placement for
+// heterogeneous fleets.
+func NewFirstFitPlacer() Placer      { return sched.NewFirstFit() }
+func NewBestFitMemoryPlacer() Placer { return sched.NewBestFitMemory() }
+func NewSpeedAwarePlacer() Placer    { return sched.NewSpeedAware() }
+
+// MeasureImbalance computes fleet utilization-imbalance metrics from a
+// traced run (set ClusterConfig.TraceInterval).
+func MeasureImbalance(res *Result) (Imbalance, error) {
+	return metrics.UtilizationImbalance(res.Trace)
+}
 
 // Scheduler constructors for the paper's comparative schemes.
 func NewIsolatedScheduler() Scheduler { return sched.NewIsolated() }

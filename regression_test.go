@@ -115,6 +115,150 @@ func TestClosedBatchEquivalence(t *testing.T) {
 	checkGolden(t, "isolated-l5-seed42", mix, sched.NewIsolated())
 }
 
+// openGolden holds per-run reference values captured from the open-system
+// engine before the heterogeneous-cluster refactor (per-node specs, node
+// lifecycle events, scored placement). A homogeneous default fleet with no
+// node events must reproduce them bit-for-bit.
+type openGolden struct {
+	makespan              float64
+	oom                   int
+	meanWait, p95, thrput float64
+	done                  []float64
+}
+
+var openSystemGoldens = map[string]openGolden{
+	"oracle-poisson80-seed11": {
+		makespan: 1703.331663, oom: 0,
+		meanWait: 0.4486968565, p95: 495.2148337, thrput: 63.52446148,
+		done: []float64{15.81457191, 546.8521394, 379.3690094, 272.8867105, 537.5612417, 358.4781837, 727.9098667, 383.4156746, 535.928136, 432.6498817, 708.2466731, 459.0676997, 554.8949554, 754.5034805, 1159.898369, 1045.289241, 1083.27491, 721.1860577, 785.1834539, 976.5814021, 1269.586152, 1153.87369, 1013.064637, 1265.452975, 1217.010166, 1103.564982, 1209.417948, 1480.369801, 1703.331663, 1640.54495},
+	},
+	"pairwise-poisson80-seed11": {
+		makespan: 1832.874482, oom: 0,
+		meanWait: 114.4511887, p95: 606.8697646, thrput: 59.02686687,
+		done: []float64{15.81457191, 551.447659, 374.179373, 268.6884133, 477.7373781, 356.5300886, 733.9133105, 384.57845, 596.5220378, 562.523259, 796.6866685, 565.598859, 563.516299, 758.1911831, 1348.212418, 1227.970867, 1087.232123, 1100.013661, 1100.412123, 1367.114644, 1544.865642, 1391.23252, 1241.150867, 1473.683717, 1501.710652, 1360.898695, 1361.419418, 1614.143925, 1832.874482, 1822.544541},
+	},
+}
+
+func checkOpenGolden(t *testing.T, label string, s cluster.Scheduler) {
+	t.Helper()
+	g, ok := openSystemGoldens[label]
+	if !ok {
+		t.Fatalf("no open-system golden named %q", label)
+	}
+	arrivals, err := workload.PoissonArrivals(30, 80.0/3600, rand.New(rand.NewSource(11)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := cluster.New(cluster.DefaultConfig())
+	res, err := c.RunOpen(cluster.Submissions(arrivals), s)
+	if err != nil {
+		t.Fatalf("%s: %v", label, err)
+	}
+	q, err := metrics.Queueing(res, 0)
+	if err != nil {
+		t.Fatalf("%s: %v", label, err)
+	}
+	if !relClose(res.MakespanSec, g.makespan) {
+		t.Errorf("%s: makespan = %.10g, golden %.10g", label, res.MakespanSec, g.makespan)
+	}
+	if res.OOMKills != g.oom {
+		t.Errorf("%s: OOM kills = %d, golden %d", label, res.OOMKills, g.oom)
+	}
+	if res.FailKills != 0 {
+		t.Errorf("%s: fail kills = %d without node events", label, res.FailKills)
+	}
+	if !relClose(q.MeanWaitSec, g.meanWait) {
+		t.Errorf("%s: mean wait = %.10g, golden %.10g", label, q.MeanWaitSec, g.meanWait)
+	}
+	if !relClose(q.P95SojournSec, g.p95) {
+		t.Errorf("%s: p95 sojourn = %.10g, golden %.10g", label, q.P95SojournSec, g.p95)
+	}
+	if !relClose(q.ThroughputJobsPerHour, g.thrput) {
+		t.Errorf("%s: throughput = %.10g, golden %.10g", label, q.ThroughputJobsPerHour, g.thrput)
+	}
+	if len(res.Apps) != len(g.done) {
+		t.Fatalf("%s: %d apps, golden %d", label, len(res.Apps), len(g.done))
+	}
+	for i, a := range res.Apps {
+		if !relClose(a.DoneTime, g.done[i]) {
+			t.Errorf("%s: app %d done at %.10g, golden %.10g", label, i, a.DoneTime, g.done[i])
+		}
+	}
+}
+
+// TestOpenSystemEquivalence locks RunOpen on a homogeneous default fleet to
+// the results the pre-heterogeneity engine produced.
+func TestOpenSystemEquivalence(t *testing.T) {
+	checkOpenGolden(t, "oracle-poisson80-seed11", sched.NewOracle())
+	checkOpenGolden(t, "pairwise-poisson80-seed11", sched.NewPairwise())
+}
+
+// TestFirstFitPlacerMatchesDefault pins the Placer refactor: a Dispatcher
+// with the explicit first-fit Placer must place exactly like the nil
+// (historical scan-order) default, bit-for-bit.
+func TestFirstFitPlacerMatchesDefault(t *testing.T) {
+	t4, err := workload.Table4Mix()
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(p sched.Placer) *cluster.Result {
+		d := sched.NewOracle()
+		d.Placer = p
+		c := cluster.New(cluster.DefaultConfig())
+		res, err := c.Run(t4, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	legacy := run(nil)
+	scored := run(sched.NewFirstFit())
+	if legacy.MakespanSec != scored.MakespanSec {
+		t.Errorf("makespan %v (nil placer) vs %v (first-fit placer)", legacy.MakespanSec, scored.MakespanSec)
+	}
+	for i := range legacy.Apps {
+		if legacy.Apps[i].DoneTime != scored.Apps[i].DoneTime {
+			t.Errorf("app %d done %v vs %v", i, legacy.Apps[i].DoneTime, scored.Apps[i].DoneTime)
+		}
+	}
+}
+
+// TestHomogeneousHeteroConstructorEquivalence pins NewHetero with 40 default
+// specs to New's results: per-node capacity math must not perturb the
+// homogeneous path.
+func TestHomogeneousHeteroConstructorEquivalence(t *testing.T) {
+	t4, err := workload.Table4Mix()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := cluster.DefaultConfig()
+	c1 := cluster.New(cfg)
+	r1, err := c1.Run(t4, sched.NewOracle())
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := make([]cluster.NodeSpec, cfg.Nodes)
+	for i := range specs {
+		specs[i] = cfg.DefaultNodeSpec()
+	}
+	c2, err := cluster.NewHetero(cfg, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := c2.Run(t4, sched.NewOracle())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.MakespanSec != r2.MakespanSec {
+		t.Errorf("makespan %v (New) vs %v (NewHetero)", r1.MakespanSec, r2.MakespanSec)
+	}
+	for i := range r1.Apps {
+		if r1.Apps[i].DoneTime != r2.Apps[i].DoneTime {
+			t.Errorf("app %d done %v vs %v", i, r1.Apps[i].DoneTime, r2.Apps[i].DoneTime)
+		}
+	}
+}
+
 // TestRunMatchesRunOpenAtTimeZero pins the wrapper relationship directly:
 // submitting everything at t=0 through RunOpen is bit-identical to Run.
 func TestRunMatchesRunOpenAtTimeZero(t *testing.T) {
