@@ -21,6 +21,13 @@
 //	moeschedsim -policy moe -fleet stragglers -placer speed
 //	moeschedsim -policy moe -node-events drain@600:3,fail@900:7,join@1200
 //
+// Multi-tenant priority classes (open-system mode): tag the stream with
+// tenant classes, schedule weighted FCFS with class-aware placement, and
+// optionally let high-priority arrivals preempt preemptible executors:
+//
+//	moeschedsim -policy moe -arrivals poisson -rate 300 -classes latency-batch -preempt
+//	moeschedsim -policy moe -arrivals poisson -classes "prod:4:0.2:cap30,ad-hoc:2:0.3,batch:1:0.5:preempt"
+//
 // -json emits the scenario and queueing results as a single JSON object for
 // machine consumption.
 package main
@@ -42,7 +49,7 @@ import (
 	"moespark/internal/workload"
 )
 
-func buildPolicy(name, placer string, seed int64) (cluster.Scheduler, error) {
+func buildPolicy(name, placer string, seed int64) (*sched.Dispatcher, error) {
 	rng := rand.New(rand.NewSource(seed))
 	var d *sched.Dispatcher
 	var err error
@@ -167,6 +174,54 @@ func parseNodeEvents(s string) ([]cluster.NodeEvent, error) {
 	return events, nil
 }
 
+// parseClasses parses the -classes syntax: comma-separated
+// name:weight:frac[:preempt][:capN] items, e.g.
+// "latency:4:0.3:cap30,batch:1:0.7:preempt" — weight orders classes for
+// admission, frac is the class's share of the stream, "preempt" marks its
+// executors reclaimable, and "capN" caps its job inputs at N GB. The
+// shorthand "latency-batch" is the canonical study mix.
+func parseClasses(s string) ([]workload.ClassShare, error) {
+	if s == "" {
+		return nil, nil
+	}
+	if s == "latency-batch" {
+		return workload.LatencyBatchMix(0.3), nil
+	}
+	var mix []workload.ClassShare
+	for _, item := range strings.Split(s, ",") {
+		item = strings.TrimSpace(item)
+		parts := strings.Split(item, ":")
+		if len(parts) < 3 {
+			return nil, fmt.Errorf("class %q: want name:weight:frac[:preempt][:capN]", item)
+		}
+		w, err := strconv.ParseFloat(parts[1], 64)
+		if err != nil || w < 0 {
+			return nil, fmt.Errorf("class %q: bad weight %q", item, parts[1])
+		}
+		f, err := strconv.ParseFloat(parts[2], 64)
+		if err != nil || f <= 0 || f > 1 {
+			return nil, fmt.Errorf("class %q: bad share %q", item, parts[2])
+		}
+		cs := workload.ClassShare{Class: workload.Class{Name: parts[0], Weight: w}, Frac: f}
+		for _, opt := range parts[3:] {
+			switch {
+			case opt == "preempt":
+				cs.Class.Preemptible = true
+			case strings.HasPrefix(opt, "cap"):
+				gb, err := strconv.ParseFloat(opt[len("cap"):], 64)
+				if err != nil || gb <= 0 {
+					return nil, fmt.Errorf("class %q: bad input cap %q", item, opt)
+				}
+				cs.MaxInputGB = gb
+			default:
+				return nil, fmt.Errorf("class %q: unknown option %q (preempt|capN)", item, opt)
+			}
+		}
+		mix = append(mix, cs)
+	}
+	return mix, nil
+}
+
 // buildArrivals generates the open-system submission stream for -arrivals.
 func buildArrivals(kind string, apps int, ratePerHour, burstLen, idleSec, periodSec float64, seed int64) ([]workload.Arrival, error) {
 	rng := rand.New(rand.NewSource(seed))
@@ -195,11 +250,13 @@ func buildArrivals(kind string, apps int, ratePerHour, burstLen, idleSec, period
 type jsonApp struct {
 	ID            int     `json:"id"`
 	Application   string  `json:"application"`
+	Class         string  `json:"class,omitempty"`
 	SubmitSec     float64 `json:"submitSec"`
 	IsolatedSec   float64 `json:"isolatedSec"`
 	WaitSec       float64 `json:"waitSec"`
 	TurnaroundSec float64 `json:"turnaroundSec"`
 	OOMKills      int     `json:"oomKills"`
+	PreemptKills  int     `json:"preemptKills,omitempty"`
 }
 
 // jsonOutput is the machine-readable result of one run.
@@ -225,6 +282,10 @@ type jsonOutput struct {
 	RatePerHour float64               `json:"ratePerHour,omitempty"`
 	Queueing    *metrics.QueueMetrics `json:"queueing,omitempty"`
 
+	// Multi-tenant only.
+	PreemptKills int                         `json:"preemptKills,omitempty"`
+	Classes      []metrics.ClassQueueMetrics `json:"classes,omitempty"`
+
 	Apps []jsonApp `json:"apps"`
 }
 
@@ -244,6 +305,8 @@ func main() {
 		idleSec    = flag.Float64("idle", 0, "mean idle gap between bursts in seconds (bursty arrivals; 0 = derived so the long-run rate matches -rate)")
 		period     = flag.Float64("period", 3600, "day/night period in seconds (diurnal arrivals)")
 		window     = flag.Float64("window", 600, "throughput window in seconds (open-system mode)")
+		classes    = flag.String("classes", "", `tenant class mix (open-system mode): "latency-batch" or name:weight:frac[:preempt][:capN],... (empty = single tenant)`)
+		preempt    = flag.Bool("preempt", false, "let high-priority arrivals preempt preemptible executors (requires -classes)")
 		seed       = flag.Int64("seed", 1, "random seed")
 		verbose    = flag.Bool("verbose", false, "print per-application timings")
 		jsonOut    = flag.Bool("json", false, "emit results as a JSON object instead of tables")
@@ -264,6 +327,22 @@ func main() {
 	if *jsonOut && *verbose {
 		fail(fmt.Errorf("-json already includes per-application records; drop -verbose"))
 	}
+	mix, err := parseClasses(*classes)
+	if err != nil {
+		fail(err)
+	}
+	if mix != nil && !open {
+		fail(fmt.Errorf("-classes tags a timed arrival stream and needs -arrivals"))
+	}
+	if *preempt {
+		anyPreemptible := false
+		for _, s := range mix {
+			anyPreemptible = anyPreemptible || s.Class.Preemptible
+		}
+		if !anyPreemptible {
+			fail(fmt.Errorf("-preempt needs a class mix with at least one preemptible class; set -classes with a :preempt option"))
+		}
+	}
 	specs, err := buildFleet(*fleet, *nodes, *seed)
 	if err != nil {
 		fail(err)
@@ -272,9 +351,13 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	p, err := buildPolicy(*policy, *placer, *seed)
+	d, err := buildPolicy(*policy, *placer, *seed)
 	if err != nil {
 		fail(err)
+	}
+	var p cluster.Scheduler = d
+	if mix != nil {
+		p = sched.NewPriority(d, *preempt)
 	}
 
 	cfg := cluster.DefaultConfig()
@@ -298,6 +381,12 @@ func main() {
 		stream, err := buildArrivals(*arrivals, *apps, *rate, *burstLen, *idleSec, *period, *seed)
 		if err != nil {
 			fail(err)
+		}
+		if mix != nil {
+			stream, err = workload.TagArrivals(stream, mix, rand.New(rand.NewSource(*seed+9)))
+			if err != nil {
+				fail(err)
+			}
 		}
 		for _, a := range stream {
 			jobs = append(jobs, a.Job)
@@ -350,6 +439,12 @@ func main() {
 			out.Arrivals = *arrivals
 			out.RatePerHour = *rate
 			out.Queueing = &q
+			if mix != nil {
+				out.PreemptKills = res.PreemptKills
+				if out.Classes, err = metrics.QueueingByClass(res, *window); err != nil {
+					fail(err)
+				}
+			}
 		} else {
 			base := metrics.SerialBaseline(c, jobs)
 			cmp := metrics.Compare(run, base)
@@ -358,10 +453,10 @@ func main() {
 		}
 		for _, a := range res.Apps {
 			out.Apps = append(out.Apps, jsonApp{
-				ID: a.ID, Application: a.Job.String(),
+				ID: a.ID, Application: a.Job.String(), Class: a.Class.Name,
 				SubmitSec: a.SubmitTime, IsolatedSec: c.IsolatedTime(a.Job),
 				WaitSec: a.WaitSec(), TurnaroundSec: a.Turnaround(),
-				OOMKills: a.OOMKills,
+				OOMKills: a.OOMKills, PreemptKills: a.PreemptKills,
 			})
 		}
 		enc := json.NewEncoder(os.Stdout)
@@ -408,6 +503,23 @@ func main() {
 		fmt.Printf("sojourn       mean %.1f s, p50 %.1f s, p95 %.1f s, p99 %.1f s\n",
 			q.MeanSojournSec, q.P50SojournSec, q.P95SojournSec, q.P99SojournSec)
 		fmt.Printf("throughput    %.1f jobs/hour achieved\n", q.ThroughputJobsPerHour)
+		if mix != nil {
+			byClass, err := metrics.QueueingByClass(res, 0)
+			if err != nil {
+				fail(err)
+			}
+			if res.PreemptKills > 0 {
+				fmt.Printf("preempted     %d executors (work charged back to their apps)\n", res.PreemptKills)
+			}
+			fmt.Println()
+			fmt.Printf("%-12s %5s %5s %10s %10s %10s %8s\n",
+				"class", "wt", "apps", "wait(s)", "p99 soj(s)", "jobs/h", "preempts")
+			for _, cq := range byClass {
+				fmt.Printf("%-12s %5.1f %5d %10.1f %10.1f %10.1f %8d\n",
+					cq.Class, cq.Weight, cq.Apps, cq.MeanWaitSec, cq.P99SojournSec,
+					cq.ThroughputJobsPerHour, cq.PreemptKills)
+			}
+		}
 		if *verbose {
 			fmt.Println()
 			fmt.Printf("%-10s %-10s %s\n", "window(s)", "completed", "jobs/hour")

@@ -71,6 +71,48 @@ func TestBuildFleet(t *testing.T) {
 	}
 }
 
+func TestParseClasses(t *testing.T) {
+	mix, err := parseClasses("prod:4:0.2:cap30,ad-hoc:2:0.3,batch:1:0.5:preempt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mix) != 3 {
+		t.Fatalf("%d classes, want 3", len(mix))
+	}
+	prod := mix[0]
+	if prod.Class.Name != "prod" || prod.Class.Weight != 4 || prod.Frac != 0.2 ||
+		prod.MaxInputGB != 30 || prod.Class.Preemptible {
+		t.Errorf("prod parsed as %+v", prod)
+	}
+	batch := mix[2]
+	if !batch.Class.Preemptible || batch.Class.Weight != 1 || batch.Frac != 0.5 || batch.MaxInputGB != 0 {
+		t.Errorf("batch parsed as %+v", batch)
+	}
+	short, err := parseClasses("latency-batch")
+	if err != nil || len(short) != 2 || short[0].Class.Name != "latency" {
+		t.Errorf("latency-batch shorthand: %+v, %v", short, err)
+	}
+	if mix, err := parseClasses(""); err != nil || mix != nil {
+		t.Errorf("empty spec: %+v, %v", mix, err)
+	}
+	for _, bad := range []string{
+		"latency",               // missing weight and share
+		"latency:4",             // missing share
+		"latency:x:0.5",         // bad weight
+		"latency:-1:0.5",        // negative weight
+		"latency:4:0",           // zero share
+		"latency:4:1.5",         // share beyond 1
+		"latency:4:0.5:warp",    // unknown option
+		"latency:4:0.5:cap",     // empty cap
+		"latency:4:0.5:cap-3",   // negative cap
+		"latency:4:0.5:capache", // non-numeric cap
+	} {
+		if _, err := parseClasses(bad); err == nil {
+			t.Errorf("%q accepted", bad)
+		}
+	}
+}
+
 func TestBuildPolicyPlacers(t *testing.T) {
 	if _, err := buildPolicy("oracle", "speed", 1); err != nil {
 		t.Errorf("speed placer rejected: %v", err)

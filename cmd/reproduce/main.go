@@ -9,6 +9,7 @@
 // Experiment ids: fig3 fig4 fig6 fig7 fig9 fig10 fig11 fig12 fig13 fig14
 // fig15 fig16 fig17 fig18 table5 opensys (the open-system queueing study,
 // beyond the paper) hetero (heterogeneous fleets and node churn, beyond the
+// paper) tenants (multi-tenant priority classes with preemption, beyond the
 // paper).
 package main
 
@@ -103,6 +104,13 @@ func runners() []runner {
 		}},
 		{"hetero", func(ctx experiments.Context) ([]experiments.Table, error) {
 			r, err := experiments.Hetero(ctx)
+			if err != nil {
+				return nil, err
+			}
+			return r.Tables(), nil
+		}},
+		{"tenants", func(ctx experiments.Context) ([]experiments.Table, error) {
+			r, err := experiments.Tenants(ctx)
 			if err != nil {
 				return nil, err
 			}

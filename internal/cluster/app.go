@@ -49,6 +49,9 @@ type App struct {
 	ID int
 	// Job is the benchmark + input size.
 	Job workload.Job
+	// Class is the submitting tenant's priority class; the zero class is the
+	// untagged single-tenant default.
+	Class workload.Class
 
 	// SubmitTime, ReadyTime, StartTime, DoneTime are simulation timestamps
 	// (seconds); Ready/Start/Done are -1 until reached.
@@ -75,6 +78,9 @@ type App struct {
 	// OOMKills counts executors lost to out-of-memory on an oversubscribed
 	// node.
 	OOMKills int
+	// PreemptKills counts executors this app lost to higher-priority
+	// preemption; the lost work is charged back exactly like an OOM kill.
+	PreemptKills int
 
 	// State is the current lifecycle state.
 	State AppState

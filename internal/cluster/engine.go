@@ -53,12 +53,23 @@ type Cluster struct {
 	trace      *Trace
 	nextNodeID int
 
-	totalOOM       int
-	totalFailKills int
+	// classed is set when any submission carries a non-zero tenant class;
+	// untagged runs skip the weighted-admission ordering entirely so the
+	// single-class path stays bit-for-bit identical to the pre-class engine.
+	classed bool
+
+	totalOOM          int
+	totalFailKills    int
+	totalPreemptKills int
 }
 
 // New creates an idle homogeneous cluster: cfg.Nodes nodes, each with the
-// platform's default spec (the paper's testbed).
+// platform's default spec (the paper's testbed). An invalid config — a
+// non-positive cfg.Nodes or a degenerate platform memory layout — is a
+// programmer error and panics with the underlying cause; New used to swallow
+// it and return a zero-node cluster whose Run later died with a misleading
+// "simulation stalled" message. Callers that construct configs from untrusted
+// input should use NewHetero, which returns the error instead.
 func New(cfg Config) *Cluster {
 	specs := make([]NodeSpec, cfg.Nodes)
 	for i := range specs {
@@ -66,13 +77,7 @@ func New(cfg Config) *Cluster {
 	}
 	c, err := NewHetero(cfg, specs)
 	if err != nil {
-		// The default spec is always valid; only a non-positive cfg.Nodes or
-		// degenerate platform memory can get here, which matches the previous
-		// behaviour of an unusable zero-node cluster.
-		c = &Cluster{cfg: cfg}
-		if cfg.TraceInterval > 0 {
-			c.trace = newTrace(cfg.TraceInterval)
-		}
+		panic(fmt.Sprintf("cluster.New: invalid config: %v", err))
 	}
 	return c
 }
@@ -117,6 +122,9 @@ func (c *Cluster) TotalOOMKills() int { return c.totalOOM }
 // TotalFailKills counts executors killed by node failures.
 func (c *Cluster) TotalFailKills() int { return c.totalFailKills }
 
+// TotalPreemptKills counts executors killed by higher-priority preemption.
+func (c *Cluster) TotalPreemptKills() int { return c.totalPreemptKills }
+
 // AvailableNodes counts nodes currently accepting placements.
 func (c *Cluster) AvailableNodes() int {
 	var n int
@@ -129,17 +137,32 @@ func (c *Cluster) AvailableNodes() int {
 }
 
 // WaitingApps returns the ready-or-running applications that still have
-// unassigned work and spare executor slots, in FCFS order.
+// unassigned work and spare executor slots. Untagged runs list them in FCFS
+// order; once any submission carries a tenant class the list is weighted
+// FCFS — higher-weight classes first, submission order within a class.
 func (c *Cluster) WaitingApps() []*App { return c.AppendWaitingApps(nil) }
 
 // AppendWaitingApps is the allocation-free form of WaitingApps for hot-path
 // callers: the waiting set is appended to buf (typically buf[:0] of a reused
 // slice) and returned.
 func (c *Cluster) AppendWaitingApps(buf []*App) []*App {
+	start := len(buf)
 	for _, a := range c.apps {
 		if (a.State == StateReady || a.State == StateRunning) &&
 			a.RemainingGB > 0 && len(a.Executors) < a.MaxExecutors {
 			buf = append(buf, a)
+		}
+	}
+	if c.classed {
+		// Stable insertion sort by descending class weight: allocation-free,
+		// and the waiting set is small (bounded by in-flight apps). Equal
+		// weights keep submission order, so an all-equal-weight run is
+		// untouched.
+		tail := buf[start:]
+		for i := 1; i < len(tail); i++ {
+			for j := i; j > 0 && tail[j].Class.Weight > tail[j-1].Class.Weight; j-- {
+				tail[j], tail[j-1] = tail[j-1], tail[j]
+			}
 		}
 	}
 	return buf
@@ -162,7 +185,8 @@ func (c *Cluster) AddReadyApp(job workload.Job) *App {
 }
 
 // AddForeign pins a foreign co-runner task (e.g. a PARSEC benchmark) to a
-// node before the run starts.
+// node, typically before the run starts. A task added by a mid-run driver
+// starts at the cluster's current clock, not at t=0.
 func (c *Cluster) AddForeign(nodeID int, name string, cpuLoad, memoryGB, workSec float64) (*ForeignTask, error) {
 	if nodeID < 0 || nodeID >= len(c.nodes) {
 		return nil, fmt.Errorf("cluster: node %d out of range", nodeID)
@@ -170,7 +194,7 @@ func (c *Cluster) AddForeign(nodeID int, name string, cpuLoad, memoryGB, workSec
 	f := &ForeignTask{
 		Name: name, Node: c.nodes[nodeID], CPULoad: cpuLoad,
 		MemoryGB: memoryGB, WorkSec: workSec, remaining: workSec,
-		StartTime: 0, DoneTime: -1,
+		StartTime: c.now, DoneTime: -1,
 	}
 	c.nodes[nodeID].Foreign = append(c.nodes[nodeID].Foreign, f)
 	c.foreign = append(c.foreign, f)
@@ -185,7 +209,7 @@ func (c *Cluster) IsolatedTime(job workload.Job) float64 {
 	return c.cfg.StartupSec + job.InputGB/(float64(k)*job.Bench.ScanRate)
 }
 
-// Spawn validation errors.
+// Spawn / Grow / Preempt validation errors.
 var (
 	ErrAppNotSchedulable = errors.New("cluster: app not in a schedulable state")
 	ErrNoFreeMemory      = errors.New("cluster: insufficient unreserved memory on node")
@@ -193,6 +217,9 @@ var (
 	ErrAlreadyOnNode     = errors.New("cluster: app already has an executor on node")
 	ErrChunkTooSmall     = errors.New("cluster: data allocation below minimum chunk")
 	ErrNodeUnavailable   = errors.New("cluster: node is draining or failed")
+	ErrShrinkReservation = errors.New("cluster: Grow cannot shrink the reservation")
+	ErrNotPreemptible    = errors.New("cluster: victim's class is not preemptible")
+	ErrNoPriority        = errors.New("cluster: preemptor does not outrank the victim")
 )
 
 // Spawn places a new executor of app on node with the given memory
@@ -271,11 +298,17 @@ func (c *Cluster) resident(needGB, reserveGB float64) float64 {
 
 // Grow raises an executor's data allocation and memory reservation in place
 // (the paper dynamically adjusts the items given to a co-located executor as
-// stages complete and memory frees up).
+// stages complete and memory frees up). Both deltas must be non-negative:
+// shrinking the reservation would drop ReservedGB below the footprint the
+// executor was admitted with, bypassing admission control, and is rejected
+// with ErrShrinkReservation.
 func (c *Cluster) Grow(e *Executor, newReserveGB, newItemsGB float64) error {
 	const eps = 1e-9
 	if newItemsGB+eps < e.ItemsGB {
 		return errors.New("cluster: Grow cannot shrink the allocation")
+	}
+	if newReserveGB+eps < e.ReservedGB {
+		return fmt.Errorf("%w: %.2f GB -> %.2f GB", ErrShrinkReservation, e.ReservedGB, newReserveGB)
 	}
 	delta := newReserveGB - e.ReservedGB
 	if delta > e.Node.FreeGB()+eps {
@@ -321,6 +354,8 @@ type Result struct {
 	OOMKills int
 	// FailKills counts executors killed by node failures.
 	FailKills int
+	// PreemptKills counts executors killed by higher-priority preemption.
+	PreemptKills int
 	// Trace holds utilization samples when tracing was enabled.
 	Trace *Trace
 }
@@ -331,17 +366,20 @@ const maxEvents = 2_000_000
 // Submission is one timed job arrival: the job enters the cluster's queue at
 // time At (seconds). A slice of Submissions is the event source of the
 // open-system engine; the closed-batch Run is the special case where every
-// At is zero.
+// At is zero. Class tags the submitting tenant: among simultaneous arrivals,
+// higher-weight classes are admitted (and scheduled) first.
 type Submission struct {
-	At  float64
-	Job workload.Job
+	At    float64
+	Job   workload.Job
+	Class workload.Class
 }
 
-// Submissions lifts a workload arrival stream into engine submissions.
+// Submissions lifts a workload arrival stream into engine submissions,
+// carrying any tenant class tags along.
 func Submissions(arrivals []workload.Arrival) []Submission {
 	subs := make([]Submission, len(arrivals))
 	for i, a := range arrivals {
-		subs[i] = Submission{At: a.At, Job: a.Job}
+		subs[i] = Submission{At: a.At, Job: a.Job, Class: a.Class}
 	}
 	return subs
 }
@@ -361,8 +399,9 @@ func (c *Cluster) Run(jobs []workload.Job, sched Scheduler) (*Result, error) {
 // application and foreign task completes. Each application enters the queue
 // at its submission time: the policy's Prepare fires on arrival (not at t=0),
 // profiling runs from there, and the recorded SubmitTime yields real per-app
-// waiting times. Submissions may be given in any order; ties keep their
-// original order (FCFS among simultaneous arrivals).
+// waiting times. Submissions may be given in any order; ties are admitted
+// highest class weight first, then original order (weighted FCFS — plain
+// FCFS when no submission carries a class).
 func (c *Cluster) RunOpen(subs []Submission, sched Scheduler) (*Result, error) {
 	if len(subs) == 0 && len(c.foreign) == 0 {
 		return nil, errors.New("cluster: nothing to run")
@@ -371,16 +410,25 @@ func (c *Cluster) RunOpen(subs []Submission, sched Scheduler) (*Result, error) {
 		if s.At < 0 || math.IsNaN(s.At) || math.IsInf(s.At, 0) {
 			return nil, fmt.Errorf("cluster: invalid submission time %v", s.At)
 		}
+		if s.Class != (workload.Class{}) {
+			c.classed = true
+		}
 	}
 	c.pending = make([]Submission, len(subs))
 	copy(c.pending, subs)
-	sort.SliceStable(c.pending, func(i, j int) bool { return c.pending[i].At < c.pending[j].At })
+	sort.SliceStable(c.pending, func(i, j int) bool {
+		if c.pending[i].At != c.pending[j].At {
+			return c.pending[i].At < c.pending[j].At
+		}
+		return c.pending[i].Class.Weight > c.pending[j].Class.Weight
+	})
 	c.apps = make([]*App, 0, len(subs))
 
 	for ev := 0; ev < maxEvents; ev++ {
 		if err := c.applyNodeEvents(); err != nil {
 			return nil, err
 		}
+		c.completeDrains()
 		if err := c.admitArrivals(sched); err != nil {
 			return nil, err
 		}
@@ -411,7 +459,7 @@ func (c *Cluster) admitArrivals(sched Scheduler) error {
 		sub := c.pending[0]
 		c.pending = c.pending[1:]
 		c.apps = append(c.apps, &App{
-			ID: len(c.apps), Job: sub.Job,
+			ID: len(c.apps), Job: sub.Job, Class: sub.Class,
 			SubmitTime: sub.At, ReadyTime: -1, StartTime: -1, DoneTime: -1,
 			RemainingGB:  sub.Job.InputGB,
 			MaxExecutors: c.cfg.NodesFor(sub.Job.InputGB),
@@ -546,6 +594,108 @@ func (c *Cluster) reclaimExecutor(victim *Executor) {
 	if len(app.Executors) == 0 && app.State == StateRunning {
 		app.State = StateReady
 	}
+}
+
+// Preempt kills one executor on behalf of a higher-priority application,
+// reusing the OOM/fail charge-back path: the victim's partially-processed
+// items return to its app's remaining pool and the kill is counted in
+// App.PreemptKills / Result.PreemptKills. The victim's class must be
+// preemptible and strictly outranked by the preemptor's.
+func (c *Cluster) Preempt(victim *Executor, by *App) error {
+	if !victim.App.Class.Preemptible {
+		return fmt.Errorf("%w: %s", ErrNotPreemptible, victim.App.Job)
+	}
+	if victim.App == by || victim.App.Class.Weight >= by.Class.Weight {
+		return fmt.Errorf("%w: weight %.1f vs %.1f", ErrNoPriority,
+			by.Class.Weight, victim.App.Class.Weight)
+	}
+	victim.App.PreemptKills++
+	c.totalPreemptKills++
+	c.reclaimExecutor(victim)
+	return nil
+}
+
+// PreemptFor frees resources for an arriving high-priority application by
+// reclaiming preemptible lower-priority executors, newest first, on a single
+// node: needGB of reservable memory, cpuDemand of CPU headroom, and — when
+// maxAppsPerNode is positive — an application slot under that cap (pass 0
+// for constraints the scheduling policy does not enforce; killed executors
+// free their CPU demand and app slot along with their reservation). The
+// memory target is clamped per node to the node's allocatable memory: a
+// bigger ask than a whole node can never be freed on one machine, and
+// schedulers shrink oversized allocations to whatever fits anyway. It picks
+// the placeable node that can reach every target with the fewest kills
+// (ties keep node-scan order) and returns the number of executors killed —
+// zero when some placeable node already has the resources, or when no node
+// can reach them even after killing every eligible victim.
+func (c *Cluster) PreemptFor(app *App, needGB, cpuDemand float64, maxAppsPerNode int) int {
+	const eps = 1e-9
+	bestNode := -1
+	bestKills := 0
+	for i, n := range c.nodes {
+		if !n.Available() || app.ExecutorOn(n) || (app.BlockedOn(n) && len(n.Executors) > 0) {
+			continue
+		}
+		target := needGB
+		if a := n.AllocatableGB(); target > a {
+			target = a
+		}
+		// Deliberately not n.FreeGB(): its clamp at zero would hide an
+		// overcommit (foreign working sets bypass admission), and the kill
+		// simulation must start from the true deficit.
+		free := n.AllocatableGB() - n.ReservedGB()
+		cpuFree := n.CPUCapacity() - n.CPUDemand()
+		// An app never holds two executors on one node, so each kill frees
+		// one application slot.
+		apps := n.AppCount()
+		ok := func() bool {
+			return free+eps >= target && cpuFree+eps >= cpuDemand &&
+				(maxAppsPerNode <= 0 || apps < maxAppsPerNode)
+		}
+		if ok() {
+			return 0
+		}
+		kills := 0
+		for j := len(n.Executors) - 1; j >= 0 && !ok(); j-- {
+			e := n.Executors[j]
+			if !e.App.Class.Preemptible || e.App == app || e.App.Class.Weight >= app.Class.Weight {
+				continue
+			}
+			free += e.ReservedGB
+			cpuFree += e.Demand
+			apps--
+			kills++
+		}
+		if !ok() {
+			continue
+		}
+		if bestNode < 0 || kills < bestKills {
+			bestNode, bestKills = i, kills
+		}
+	}
+	if bestNode < 0 {
+		return 0
+	}
+	n := c.nodes[bestNode]
+	killed := 0
+	for killed < bestKills {
+		var victim *Executor
+		for j := len(n.Executors) - 1; j >= 0; j-- {
+			e := n.Executors[j]
+			if e.App.Class.Preemptible && e.App != app && e.App.Class.Weight < app.Class.Weight {
+				victim = e
+				break
+			}
+		}
+		if victim == nil {
+			break
+		}
+		if err := c.Preempt(victim, app); err != nil {
+			break
+		}
+		killed++
+	}
+	return killed
 }
 
 // enforceOOM kills the newest executors on a node until actual memory fits
@@ -691,11 +841,12 @@ func (c *Cluster) result() *Result {
 		}
 	}
 	return &Result{
-		Apps:        c.apps,
-		Foreign:     c.foreign,
-		MakespanSec: makespan,
-		OOMKills:    c.totalOOM,
-		FailKills:   c.totalFailKills,
-		Trace:       c.trace,
+		Apps:         c.apps,
+		Foreign:      c.foreign,
+		MakespanSec:  makespan,
+		OOMKills:     c.totalOOM,
+		FailKills:    c.totalFailKills,
+		PreemptKills: c.totalPreemptKills,
+		Trace:        c.trace,
 	}
 }

@@ -90,7 +90,9 @@ func TestSpeedFactorScalesRates(t *testing.T) {
 }
 
 // TestDrainStopsPlacements drains a node mid-run: no executor may spawn on
-// it after the drain fires, and resident executors finish their work.
+// it after the drain fires, resident executors finish their work, and the
+// emptied node is then decommissioned (NodeRemoved) rather than idling
+// forever.
 func TestDrainStopsPlacements(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.Nodes = 2
@@ -111,10 +113,10 @@ func TestDrainStopsPlacements(t *testing.T) {
 			t.Fatalf("app %d never finished", a.ID)
 		}
 	}
-	if got := c.Nodes()[0].State(); got != NodeDraining {
-		t.Errorf("node 0 state = %v, want draining", got)
+	if got := c.Nodes()[0].State(); got != NodeRemoved {
+		t.Errorf("node 0 state = %v, want removed (drain completed once empty)", got)
 	}
-	// Direct spawns on a draining node must be rejected too.
+	// Direct spawns on a decommissioned node must be rejected too.
 	app := c.AddReadyApp(testJob(t, 10))
 	if _, err := c.Spawn(app, c.Nodes()[0], 10, 10); !errors.Is(err, ErrNodeUnavailable) {
 		t.Errorf("Spawn on draining node: err = %v, want ErrNodeUnavailable", err)

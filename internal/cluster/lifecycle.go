@@ -156,6 +156,9 @@ func (c *Cluster) applyNodeEvents() error {
 			if err != nil {
 				return err
 			}
+			if n == nil {
+				continue // the node already drained out; nothing left to act on
+			}
 			n.state = NodeDraining
 			n.StateTime = c.now
 		case NodeFail:
@@ -163,19 +166,53 @@ func (c *Cluster) applyNodeEvents() error {
 			if err != nil {
 				return err
 			}
+			if n == nil {
+				continue
+			}
 			c.failNode(n)
 		}
 	}
 	return nil
 }
 
-// nodeByID resolves a lifecycle event target; failed nodes are no longer
-// valid targets.
+// completeDrains decommissions every draining node whose last executor and
+// foreign task have finished: the node leaves the fleet (NodeRemoved,
+// StateTime stamped at the decommission instant) instead of idling in traces
+// and bookkeeping forever. A drain of an already-empty node decommissions it
+// immediately.
+func (c *Cluster) completeDrains() {
+	for _, n := range c.nodes {
+		if n.state != NodeDraining || len(n.Executors) > 0 {
+			continue
+		}
+		busy := false
+		for _, f := range n.Foreign {
+			if !f.done {
+				busy = true
+				break
+			}
+		}
+		if busy {
+			continue
+		}
+		n.state = NodeRemoved
+		n.StateTime = c.now
+	}
+}
+
+// nodeByID resolves a lifecycle event target. Failed nodes are invalid
+// targets (the event script is wrong); a decommissioned node resolves to
+// (nil, nil) — whether a drain completes before or after a later event
+// against the same node fires depends on workload timing, so the event is a
+// no-op rather than an error.
 func (c *Cluster) nodeByID(id int, kind NodeEventKind) (*Node, error) {
 	for _, n := range c.nodes {
 		if n.ID == id {
 			if n.state == NodeFailed {
 				return nil, fmt.Errorf("cluster: %s event targets node %d, which already failed", kind, id)
+			}
+			if n.state == NodeRemoved {
+				return nil, nil
 			}
 			return n, nil
 		}

@@ -14,6 +14,10 @@ const (
 	// NodeFailed: the node is gone; its executors were killed when it
 	// failed.
 	NodeFailed
+	// NodeRemoved: a drained node whose last executor and foreign task
+	// finished was decommissioned; it has left the fleet (no placements, no
+	// trace samples). StateTime records the decommission instant.
+	NodeRemoved
 )
 
 // String implements fmt.Stringer.
@@ -25,6 +29,8 @@ func (s NodeState) String() string {
 		return "draining"
 	case NodeFailed:
 		return "failed"
+	case NodeRemoved:
+		return "removed"
 	default:
 		return fmt.Sprintf("NodeState(%d)", int(s))
 	}

@@ -37,7 +37,7 @@ func (t *Trace) maybeSample(now float64, nodes []*Node) {
 	for now+slack >= t.nextSample {
 		alive := 0
 		for _, n := range nodes {
-			if n.state != NodeFailed {
+			if n.state != NodeFailed && n.state != NodeRemoved {
 				alive++
 			}
 		}
@@ -45,7 +45,7 @@ func (t *Trace) maybeSample(now float64, nodes []*Node) {
 		cpu := make([]float64, 0, alive)
 		mem := make([]float64, 0, alive)
 		for _, n := range nodes {
-			if n.state == NodeFailed {
+			if n.state == NodeFailed || n.state == NodeRemoved {
 				continue
 			}
 			ids = append(ids, n.ID)
@@ -122,7 +122,7 @@ func (m *ResourceMonitor) Observe() {
 		}
 	}
 	for _, n := range m.c.nodes {
-		if n.state == NodeFailed {
+		if n.state == NodeFailed || n.state == NodeRemoved {
 			continue
 		}
 		cpu := n.CPUDemand()

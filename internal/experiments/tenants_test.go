@@ -1,0 +1,101 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTenantsPreemptionHelpsLatencyClass(t *testing.T) {
+	ctx := quickCtx()
+	ctx.MixesPerScenario = 8 // one stream per fleet
+	r, err := Tenants(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Fleets) != 4 {
+		t.Fatalf("%d fleet scenarios, want 4 (uniform, bimodal, stragglers, storm)", len(r.Fleets))
+	}
+	byName := func(fr TenantsFleetResult, name string) TenantsSchemeResult {
+		for _, s := range fr.Schemes {
+			if s.Scheme == name {
+				return s
+			}
+		}
+		t.Fatalf("scheme %s missing on fleet %s", name, fr.Fleet)
+		return TenantsSchemeResult{}
+	}
+	var killsTotal int
+	var waitNo, waitYes float64
+	var moeP99No, moeP99Yes float64
+	for _, fr := range r.Fleets {
+		for _, s := range fr.Schemes {
+			if s.NoPreempt.PreemptKills != 0 {
+				t.Errorf("fleet %s scheme %s: %d kills without preemption", fr.Fleet, s.Scheme, s.NoPreempt.PreemptKills)
+			}
+			for _, m := range []TenantsModeMetrics{s.NoPreempt, s.Preempt} {
+				if m.LatencyP99Sec <= 0 || m.BatchP99Sec <= 0 || m.ThroughputJobsPerHour <= 0 {
+					t.Errorf("fleet %s scheme %s: degenerate metrics %+v", fr.Fleet, s.Scheme, m)
+				}
+			}
+		}
+		// Aggregate the co-locating schemes (Isolated cannot exploit freed
+		// memory: its serial head-of-line policy starts nothing early).
+		for _, name := range []string{"Pairwise", "Quasar", "MoE"} {
+			s := byName(fr, name)
+			killsTotal += s.Preempt.PreemptKills
+			waitNo += s.NoPreempt.LatencyMeanWaitSec
+			waitYes += s.Preempt.LatencyMeanWaitSec
+		}
+		moe := byName(fr, "MoE")
+		moeP99No += moe.NoPreempt.LatencyP99Sec
+		moeP99Yes += moe.Preempt.LatencyP99Sec
+		if moe.Preempt.LatencyP99Sec > moe.NoPreempt.LatencyP99Sec*1.05 {
+			t.Errorf("fleet %s: MoE latency p99 worsened under preemption: %.0f -> %.0f",
+				fr.Fleet, moe.NoPreempt.LatencyP99Sec, moe.Preempt.LatencyP99Sec)
+		}
+	}
+	if killsTotal == 0 {
+		t.Error("preemption never fired across the co-locating schemes; the study's load should force it")
+	}
+	// The point of the study: the latency-sensitive class's tail and queueing
+	// improve when preemption is enabled.
+	if moeP99Yes >= moeP99No {
+		t.Errorf("MoE latency p99 across fleets did not improve: %.0f -> %.0f", moeP99No, moeP99Yes)
+	}
+	if waitYes >= waitNo {
+		t.Errorf("co-locating latency mean wait did not improve: %.0f -> %.0f", waitNo, waitYes)
+	}
+	tables := r.Tables()
+	if len(tables) != 4 || !strings.Contains(tables[0].String(), "fleet") {
+		t.Error("tenants tables broken")
+	}
+}
+
+func TestTenantsDeterministicAcrossWorkerCounts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("tenants determinism check runs in the full suite")
+	}
+	ctx := quickCtx()
+	ctx.MixesPerScenario = 8
+	ctx.Workers = 1
+	a, err := Tenants(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx.Workers = 4
+	b, err := Tenants(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Fleets) != len(b.Fleets) {
+		t.Fatal("fleet counts differ")
+	}
+	for i := range a.Fleets {
+		for j := range a.Fleets[i].Schemes {
+			x, y := a.Fleets[i].Schemes[j], b.Fleets[i].Schemes[j]
+			if x != y {
+				t.Errorf("fleet %s scheme %s: %+v vs %+v", a.Fleets[i].Fleet, x.Scheme, x, y)
+			}
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sort"
 
 	"moespark/internal/cluster"
 	"moespark/internal/mathx"
@@ -51,7 +52,7 @@ type ThroughputWindow struct {
 
 // Queueing computes the open-system metrics for a finished run. windowSec,
 // when positive, additionally samples completion throughput in windows of
-// that length from t=0 to the makespan.
+// that length from the first submission to the last completion.
 func Queueing(res *cluster.Result, windowSec float64) (QueueMetrics, error) {
 	var q QueueMetrics
 	if res == nil || len(res.Apps) == 0 {
@@ -88,29 +89,37 @@ func Queueing(res *cluster.Result, windowSec float64) (QueueMetrics, error) {
 		q.ThroughputJobsPerHour = float64(q.Apps) / span * 3600
 	}
 	if windowSec > 0 {
-		q.Windows = throughputWindows(res, windowSec, lastDone)
+		q.Windows = throughputWindows(res, windowSec, firstSubmit, lastDone)
 	}
 	return q, nil
 }
 
-// throughputWindows buckets completions into fixed windows over [0,
-// lastDone]. The final window is clamped to lastDone and its rate uses the
-// actual covered span, so a partial tail window is not under-reported.
-func throughputWindows(res *cluster.Result, windowSec, lastDone float64) []ThroughputWindow {
-	n := int(math.Ceil(lastDone / windowSec))
+// throughputWindows buckets completions into fixed windows over
+// [firstSubmit, lastDone]. Windows open at the first submission — not t=0 —
+// so a late-starting arrival stream does not dilute the leading windows
+// with empty time. Each window covers the half-open interval
+// (StartSec, EndSec]: a completion landing exactly on a boundary is
+// credited to the window whose EndSec claims to cover it. The final window
+// is clamped to lastDone and its rate uses the actual covered span, so a
+// partial tail window is not under-reported.
+func throughputWindows(res *cluster.Result, windowSec, firstSubmit, lastDone float64) []ThroughputWindow {
+	n := int(math.Ceil((lastDone - firstSubmit) / windowSec))
 	if n < 1 {
 		n = 1
 	}
 	wins := make([]ThroughputWindow, n)
 	for i := range wins {
-		wins[i].StartSec = float64(i) * windowSec
-		wins[i].EndSec = float64(i+1) * windowSec
+		wins[i].StartSec = firstSubmit + float64(i)*windowSec
+		wins[i].EndSec = firstSubmit + float64(i+1)*windowSec
 	}
 	if wins[n-1].EndSec > lastDone {
 		wins[n-1].EndSec = lastDone
 	}
 	for _, a := range res.Apps {
-		i := int(a.DoneTime / windowSec)
+		i := int(math.Ceil((a.DoneTime-firstSubmit)/windowSec)) - 1
+		if i < 0 {
+			i = 0
+		}
 		if i >= n {
 			i = n - 1
 		}
@@ -122,4 +131,62 @@ func throughputWindows(res *cluster.Result, windowSec, lastDone float64) []Throu
 		}
 	}
 	return wins
+}
+
+// ClassQueueMetrics is the queueing summary of one tenant class.
+type ClassQueueMetrics struct {
+	// Class is the class name ("" groups untagged applications).
+	Class string
+	// Weight and Preemptible echo the class definition.
+	Weight      float64
+	Preemptible bool
+	// PreemptKills counts executors this class lost to preemption.
+	PreemptKills int
+	QueueMetrics
+}
+
+// QueueingByClass computes per-tenant-class queueing metrics: the run's
+// applications are grouped by class name and each group is measured like an
+// independent stream (its windows open at the class's own first
+// submission). Classes are ordered by descending weight, then name, so
+// reports are deterministic.
+func QueueingByClass(res *cluster.Result, windowSec float64) ([]ClassQueueMetrics, error) {
+	if res == nil || len(res.Apps) == 0 {
+		return nil, errors.New("metrics: empty run")
+	}
+	groups := map[string][]*cluster.App{}
+	order := []string{}
+	for _, a := range res.Apps {
+		name := a.Class.Name
+		if _, ok := groups[name]; !ok {
+			order = append(order, name)
+		}
+		groups[name] = append(groups[name], a)
+	}
+	sort.SliceStable(order, func(i, j int) bool {
+		wi, wj := groups[order[i]][0].Class.Weight, groups[order[j]][0].Class.Weight
+		if wi != wj {
+			return wi > wj
+		}
+		return order[i] < order[j]
+	})
+	out := make([]ClassQueueMetrics, 0, len(order))
+	for _, name := range order {
+		apps := groups[name]
+		q, err := Queueing(&cluster.Result{Apps: apps}, windowSec)
+		if err != nil {
+			return nil, fmt.Errorf("metrics: class %q: %w", name, err)
+		}
+		cq := ClassQueueMetrics{
+			Class:        name,
+			Weight:       apps[0].Class.Weight,
+			Preemptible:  apps[0].Class.Preemptible,
+			QueueMetrics: q,
+		}
+		for _, a := range apps {
+			cq.PreemptKills += a.PreemptKills
+		}
+		out = append(out, cq)
+	}
+	return out, nil
 }

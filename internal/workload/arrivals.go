@@ -7,10 +7,13 @@ import (
 )
 
 // Arrival is one timed job submission for the open-system engine: the job
-// enters the cluster queue At seconds into the run.
+// enters the cluster queue At seconds into the run. Class tags the submitting
+// tenant (see TagArrivals); the zero Class is the untagged single-tenant
+// default.
 type Arrival struct {
-	At  float64
-	Job Job
+	At    float64
+	Job   Job
+	Class Class
 }
 
 // drawJobStream samples n jobs the way RandomMix does: benchmarks cycle

@@ -1,0 +1,105 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Class is one tenant priority class. Production co-location fleets mix
+// latency-sensitive and batch tenants; the class a submission carries decides
+// how urgently the cluster treats it. The zero Class (empty name, weight 0,
+// not preemptible) is the untagged single-tenant default: runs whose
+// submissions all carry the zero class behave bit-for-bit like runs predating
+// priority classes.
+type Class struct {
+	// Name identifies the class in reports and per-class metrics.
+	Name string
+	// Weight orders classes for admission: among simultaneously-ready
+	// applications, higher-weight classes are scheduled first (weighted FCFS;
+	// equal weights fall back to plain FCFS submission order).
+	Weight float64
+	// Preemptible marks the class's executors reclaimable: an arriving
+	// higher-weight application may kill them to free memory, charging the
+	// lost work back exactly like an OOM kill.
+	Preemptible bool
+}
+
+// ClassShare is one entry of a class mix: the class, the fraction of the
+// arrival stream it submits, and the class's workload profile.
+type ClassShare struct {
+	Class Class
+	Frac  float64
+	// MaxInputGB caps the input size of jobs this class submits (0 = no
+	// cap): a latency-sensitive tenant runs interactive queries, not
+	// terabyte batch scans, so jobs drawn into the class are clamped to its
+	// largest scale.
+	MaxInputGB float64
+}
+
+// LatencyBatchMix is the canonical two-tenant mix of the multi-tenant study:
+// a latency-sensitive class (weight 4, not preemptible, interactive inputs
+// up to 30 GB) submitting latencyFrac of the stream, and a preemptible
+// batch class (weight 1, unbounded inputs) with the rest.
+func LatencyBatchMix(latencyFrac float64) []ClassShare {
+	return []ClassShare{
+		{Class: Class{Name: "latency", Weight: 4}, Frac: latencyFrac, MaxInputGB: 30},
+		{Class: Class{Name: "batch", Weight: 1, Preemptible: true}, Frac: 1 - latencyFrac},
+	}
+}
+
+// TagArrivals assigns a tenant class to every arrival of a stream: each
+// arrival independently draws its class from the mix's share fractions, and
+// jobs exceeding their class's MaxInputGB are clamped to it (the tenant's
+// workload profile). The input stream is not mutated; the same seed yields
+// the identical tagging. Fractions must be positive and sum to 1, class
+// names must be non-empty and distinct, and weights must be finite and
+// non-negative.
+func TagArrivals(arrivals []Arrival, mix []ClassShare, rng *rand.Rand) ([]Arrival, error) {
+	if len(mix) == 0 {
+		return nil, fmt.Errorf("workload: class mix needs at least one class")
+	}
+	var sum float64
+	seen := map[string]bool{}
+	for _, s := range mix {
+		if s.Class.Name == "" {
+			return nil, fmt.Errorf("workload: class mix entry has an empty name")
+		}
+		if seen[s.Class.Name] {
+			return nil, fmt.Errorf("workload: class %q appears twice in the mix", s.Class.Name)
+		}
+		seen[s.Class.Name] = true
+		if s.Class.Weight < 0 || math.IsNaN(s.Class.Weight) || math.IsInf(s.Class.Weight, 0) {
+			return nil, fmt.Errorf("workload: class %q has invalid weight %v", s.Class.Name, s.Class.Weight)
+		}
+		if s.Frac <= 0 || math.IsNaN(s.Frac) {
+			return nil, fmt.Errorf("workload: class %q has invalid share %v", s.Class.Name, s.Frac)
+		}
+		if s.MaxInputGB < 0 || math.IsNaN(s.MaxInputGB) {
+			return nil, fmt.Errorf("workload: class %q has invalid input cap %v", s.Class.Name, s.MaxInputGB)
+		}
+		sum += s.Frac
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		return nil, fmt.Errorf("workload: class shares sum to %v, want 1", sum)
+	}
+	out := make([]Arrival, len(arrivals))
+	copy(out, arrivals)
+	for i := range out {
+		u := rng.Float64()
+		acc := 0.0
+		share := mix[len(mix)-1]
+		for _, s := range mix {
+			acc += s.Frac
+			if u < acc {
+				share = s
+				break
+			}
+		}
+		out[i].Class = share.Class
+		if share.MaxInputGB > 0 && out[i].Job.InputGB > share.MaxInputGB {
+			out[i].Job.InputGB = share.MaxInputGB
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,81 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func testArrivals(t *testing.T, n int) []Arrival {
+	t.Helper()
+	arr, err := PoissonArrivals(n, 1.0/60, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return arr
+}
+
+func TestTagArrivalsDeterministicAndComplete(t *testing.T) {
+	arr := testArrivals(t, 200)
+	mix := LatencyBatchMix(0.3)
+	a, err := TagArrivals(arr, mix, rand.New(rand.NewSource(9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := TagArrivals(arr, mix, rand.New(rand.NewSource(9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	for i := range a {
+		if a[i].Class != b[i].Class || a[i].Job != b[i].Job {
+			t.Fatalf("arrival %d differs across identical seeds: %+v vs %+v", i, a[i], b[i])
+		}
+		if a[i].At != arr[i].At || a[i].Job.Bench != arr[i].Job.Bench {
+			t.Fatalf("arrival %d timing/benchmark mutated by tagging", i)
+		}
+		switch a[i].Class.Name {
+		case "latency":
+			// The latency tenant's profile caps inputs at 30 GB.
+			if a[i].Job.InputGB > 30 {
+				t.Fatalf("latency arrival %d kept a %v GB input beyond the class cap", i, a[i].Job.InputGB)
+			}
+		default:
+			if a[i].Job.InputGB != arr[i].Job.InputGB {
+				t.Fatalf("uncapped arrival %d resized: %v -> %v GB", i, arr[i].Job.InputGB, a[i].Job.InputGB)
+			}
+		}
+		counts[a[i].Class.Name]++
+	}
+	// The input stream must stay untagged (no mutation).
+	for i := range arr {
+		if arr[i].Class != (Class{}) {
+			t.Fatalf("input arrival %d mutated: %+v", i, arr[i].Class)
+		}
+	}
+	if counts["latency"] == 0 || counts["batch"] == 0 {
+		t.Errorf("degenerate tagging: %v", counts)
+	}
+	// ~30% latency share over 200 draws: allow a generous band.
+	if frac := float64(counts["latency"]) / 200; frac < 0.15 || frac > 0.45 {
+		t.Errorf("latency share %v far from configured 0.3", frac)
+	}
+}
+
+func TestTagArrivalsValidation(t *testing.T) {
+	arr := testArrivals(t, 3)
+	rng := rand.New(rand.NewSource(1))
+	bad := [][]ClassShare{
+		nil,
+		{{Class: Class{Name: ""}, Frac: 1}},
+		{{Class: Class{Name: "a"}, Frac: 0.5}, {Class: Class{Name: "a"}, Frac: 0.5}},
+		{{Class: Class{Name: "a", Weight: -1}, Frac: 1}},
+		{{Class: Class{Name: "a"}, Frac: 0.4}},
+		{{Class: Class{Name: "a"}, Frac: 0.4}, {Class: Class{Name: "b"}, Frac: 0.4}},
+		{{Class: Class{Name: "a"}, Frac: -0.2}, {Class: Class{Name: "b"}, Frac: 1.2}},
+	}
+	for i, mix := range bad {
+		if _, err := TagArrivals(arr, mix, rng); err == nil {
+			t.Errorf("bad mix %d accepted: %+v", i, mix)
+		}
+	}
+}

@@ -15,8 +15,13 @@
 //     throughput) for the open-system setting,
 //   - heterogeneous fleets: per-node hardware specs (NewHeteroCluster),
 //     seeded fleet generators (uniform, bimodal big/little, long-tail
-//     stragglers), timed node lifecycle events (join, drain, fail) and
-//     fleet-imbalance metrics,
+//     stragglers), timed node lifecycle events (join, drain, fail — a
+//     drained node is decommissioned once its last executor and foreign
+//     task finish) and fleet-imbalance metrics,
+//   - multi-tenant priority classes: class-tagged arrival streams
+//     (TagArrivals), weighted-FCFS admission, class-aware placement and
+//     preemptive scheduling (NewPriorityScheduler) with per-class queueing
+//     metrics (MeasureQueueingByClass),
 //   - the paper's co-location schedulers (Pairwise, Quasar, MoE, Oracle,
 //     OnlineSearch, unified single-model baselines), each accepting a
 //     pluggable placement scorer (first-fit, best-fit-memory, speed-aware),
@@ -45,6 +50,22 @@
 //
 // Closed-batch Run is a thin wrapper over RunOpen with every submission at
 // t=0 and produces identical results to the pre-open-system engine.
+//
+// Multi-tenant priority classes: tag the stream with tenant classes, wrap
+// any scheduler in the priority layer (weighted FCFS, class-aware placement,
+// optional preemption of preemptible executors with OOM-style charge-back),
+// and read per-class queueing metrics:
+//
+//	tagged, err := moespark.TagArrivals(arrivals, moespark.LatencyBatchMix(0.3), rng)
+//	...
+//	sim := moespark.NewCluster(moespark.DefaultClusterConfig())
+//	res, err := sim.RunOpen(moespark.SubmissionsFromArrivals(tagged),
+//		moespark.NewPriorityScheduler(sched, true)) // true = preempt
+//	byClass, err := moespark.MeasureQueueingByClass(res, 0)
+//	fmt.Println(byClass[0].Class, byClass[0].P99SojournSec, res.PreemptKills)
+//
+// Untagged streams behave bit-for-bit like runs predating priority classes,
+// even under the priority wrapper.
 //
 // See examples/ for complete programs.
 package moespark
@@ -86,6 +107,12 @@ type (
 	Job = workload.Job
 	// Arrival is one timed job submission of an open-system stream.
 	Arrival = workload.Arrival
+	// Class is one tenant priority class (name, admission weight,
+	// preemptibility); the zero Class is the untagged single-tenant default.
+	Class = workload.Class
+	// ClassShare is one entry of a tenant class mix: class, stream share and
+	// workload profile.
+	ClassShare = workload.ClassShare
 
 	// Cluster is the discrete-event simulator of the evaluation platform.
 	Cluster = cluster.Cluster
@@ -119,6 +146,8 @@ type (
 	Comparison = metrics.Comparison
 	// QueueMetrics holds the open-system queueing metrics for one run.
 	QueueMetrics = metrics.QueueMetrics
+	// ClassQueueMetrics is the queueing summary of one tenant class.
+	ClassQueueMetrics = metrics.ClassQueueMetrics
 	// ThroughputWindow is one windowed-throughput sample.
 	ThroughputWindow = metrics.ThroughputWindow
 )
@@ -240,20 +269,22 @@ func MeasureImbalance(res *Result) (Imbalance, error) {
 	return metrics.UtilizationImbalance(res.Trace)
 }
 
-// Scheduler constructors for the paper's comparative schemes.
-func NewIsolatedScheduler() Scheduler { return sched.NewIsolated() }
+// Scheduler constructors for the paper's comparative schemes. Each returns
+// the concrete *Dispatcher (which implements Scheduler) so it can be tuned —
+// e.g. given a Placer — or wrapped in NewPriorityScheduler.
+func NewIsolatedScheduler() *Dispatcher { return sched.NewIsolated() }
 
 // NewPairwiseScheduler returns the pairwise co-location baseline.
-func NewPairwiseScheduler() Scheduler { return sched.NewPairwise() }
+func NewPairwiseScheduler() *Dispatcher { return sched.NewPairwise() }
 
 // NewMoEScheduler returns the paper's scheme backed by a trained model.
-func NewMoEScheduler(model *Model, rng *rand.Rand) Scheduler { return sched.NewMoE(model, rng) }
+func NewMoEScheduler(model *Model, rng *rand.Rand) *Dispatcher { return sched.NewMoE(model, rng) }
 
 // NewOracleScheduler returns the ideal-predictor scheme.
-func NewOracleScheduler() Scheduler { return sched.NewOracle() }
+func NewOracleScheduler() *Dispatcher { return sched.NewOracle() }
 
 // NewOnlineSearchScheduler returns the gradient-probing baseline.
-func NewOnlineSearchScheduler(rng *rand.Rand) Scheduler { return sched.NewOnlineSearch(rng) }
+func NewOnlineSearchScheduler(rng *rand.Rand) *Dispatcher { return sched.NewOnlineSearch(rng) }
 
 // QuasarModel is the classification-based comparator's workload index.
 type QuasarModel = sched.QuasarModel
@@ -265,12 +296,12 @@ func TrainQuasarModel(rng *rand.Rand) (*QuasarModel, error) {
 }
 
 // NewQuasarScheduler returns the Quasar comparator scheme.
-func NewQuasarScheduler(model *QuasarModel, rng *rand.Rand) Scheduler {
+func NewQuasarScheduler(model *QuasarModel, rng *rand.Rand) *Dispatcher {
 	return sched.NewQuasar(model, rng)
 }
 
 // NewUnifiedScheduler returns a single-family baseline scheme (Figure 9).
-func NewUnifiedScheduler(family MemoryFamily, rng *rand.Rand) Scheduler {
+func NewUnifiedScheduler(family MemoryFamily, rng *rand.Rand) *Dispatcher {
 	return sched.NewUnified(family, rng)
 }
 
@@ -294,9 +325,42 @@ func DiurnalArrivals(n int, baseRate, amplitude, periodSec float64, rng *rand.Ra
 }
 
 // SubmissionsFromArrivals lifts a workload arrival stream into the engine's
-// submission events for Cluster.RunOpen.
+// submission events for Cluster.RunOpen, carrying tenant class tags along.
 func SubmissionsFromArrivals(arrivals []Arrival) []Submission {
 	return cluster.Submissions(arrivals)
+}
+
+// TagArrivals assigns a tenant class to every arrival of a stream from the
+// mix's share fractions, clamping each job to its class's input cap.
+func TagArrivals(arrivals []Arrival, mix []ClassShare, rng *rand.Rand) ([]Arrival, error) {
+	return workload.TagArrivals(arrivals, mix, rng)
+}
+
+// LatencyBatchMix is the canonical two-tenant mix: a latency-sensitive class
+// (weight 4, interactive inputs) with the given stream share, and a
+// preemptible batch class with the rest.
+func LatencyBatchMix(latencyFrac float64) []ClassShare {
+	return workload.LatencyBatchMix(latencyFrac)
+}
+
+// NewPriorityScheduler wraps any dispatcher-based scheme with multi-tenant
+// priority scheduling: weighted-FCFS admission, class-aware placement, and —
+// when preempt is set — arrival-time preemption of preemptible
+// lower-priority executors (lost work is charged back exactly like an OOM
+// kill and reported in Result.PreemptKills). Single-class runs are
+// bit-for-bit identical to the unwrapped scheme.
+func NewPriorityScheduler(d *Dispatcher, preempt bool) Scheduler {
+	return sched.NewPriority(d, preempt)
+}
+
+// NewClassAwarePlacer wraps any placement scorer with tenant-priority
+// avoidance: candidates hosting higher-weight tenants rank below all others.
+func NewClassAwarePlacer(inner Placer) Placer { return sched.NewClassAware(inner) }
+
+// MeasureQueueingByClass computes per-tenant-class queueing metrics for a
+// finished run, ordered by descending class weight.
+func MeasureQueueingByClass(res *Result, windowSec float64) ([]ClassQueueMetrics, error) {
+	return metrics.QueueingByClass(res, windowSec)
 }
 
 // Measure computes the paper's metrics for a finished run.

@@ -193,6 +193,89 @@ func TestOpenSystemEquivalence(t *testing.T) {
 	checkOpenGolden(t, "pairwise-poisson80-seed11", sched.NewPairwise())
 }
 
+// tenantsGolden pins a multi-tenant run: a classed Poisson stream under the
+// priority-wrapped Oracle scheme with preemption enabled, captured when
+// priority classes landed. Admission order, preemption decisions and
+// charge-back must stay bit-for-bit reproducible.
+var tenantsGolden = struct {
+	makespan          float64
+	preemptKills, oom int
+	latP99, batchP99  float64
+	latWait           float64
+	classes           string // per-app class sequence, L = latency, b = batch
+	done              []float64
+}{
+	makespan: 1554.06805, preemptKills: 8, oom: 0,
+	latP99: 442.7090244, batchP99: 1145.863258, latWait: 0,
+	classes: "bbbbbbLbbbLbbbLbbbbLbbbbLbbbLLbbbLLbbbbL",
+	done:    []float64{326.9548549, 245.8397026, 100.8435453, 300.9121256, 363.3193996, 354.6640252, 459.6863443, 199.8301064, 345.308344, 684.0177012, 517.7309101, 946.6359375, 463.0377199, 591.6770931, 593.3028233, 357.3863326, 1212.58876, 1061.096165, 1533.018337, 837.3291439, 473.1501443, 637.5221176, 1073.996204, 1554.06805, 511.2523722, 1079.816785, 528.0992815, 1071.657629, 905.9416862, 792.8753593, 1434.828366, 693.9812541, 1285.128319, 738.5629881, 750.184954, 1295.072867, 1011.964448, 916.1161662, 1216.283259, 1147.846319},
+}
+
+// TestTenantsMixGolden locks the classed open-system path (weighted
+// admission, class-aware placement, preemption with charge-back) to the
+// results captured when the multi-tenant engine landed.
+func TestTenantsMixGolden(t *testing.T) {
+	g := tenantsGolden
+	rng := rand.New(rand.NewSource(19))
+	arrivals, err := workload.PoissonArrivals(40, 200.0/3600, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tagged, err := workload.TagArrivals(arrivals, workload.LatencyBatchMix(0.3), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := cluster.New(cluster.DefaultConfig())
+	res, err := c.RunOpen(cluster.Submissions(tagged), sched.NewPriority(sched.NewOracle(), true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !relClose(res.MakespanSec, g.makespan) {
+		t.Errorf("makespan = %.10g, golden %.10g", res.MakespanSec, g.makespan)
+	}
+	if res.PreemptKills != g.preemptKills {
+		t.Errorf("preempt kills = %d, golden %d", res.PreemptKills, g.preemptKills)
+	}
+	if res.OOMKills != g.oom {
+		t.Errorf("OOM kills = %d, golden %d", res.OOMKills, g.oom)
+	}
+	if len(res.Apps) != len(g.done) {
+		t.Fatalf("%d apps, golden %d", len(res.Apps), len(g.done))
+	}
+	for i, a := range res.Apps {
+		if !relClose(a.DoneTime, g.done[i]) {
+			t.Errorf("app %d done at %.10g, golden %.10g", i, a.DoneTime, g.done[i])
+		}
+		want := "batch"
+		if g.classes[i] == 'L' {
+			want = "latency"
+		}
+		if a.Class.Name != want {
+			t.Errorf("app %d classed %q, golden %q", i, a.Class.Name, want)
+		}
+	}
+	qs, err := metrics.QueueingByClass(res, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qs) != 2 || qs[0].Class != "latency" || qs[1].Class != "batch" {
+		t.Fatalf("class metrics order broken: %+v", qs)
+	}
+	if !relClose(qs[0].P99SojournSec, g.latP99) {
+		t.Errorf("latency p99 = %.10g, golden %.10g", qs[0].P99SojournSec, g.latP99)
+	}
+	if qs[0].MeanWaitSec != g.latWait {
+		t.Errorf("latency mean wait = %.10g, golden %.10g (preemption starts the class instantly here)",
+			qs[0].MeanWaitSec, g.latWait)
+	}
+	if !relClose(qs[1].P99SojournSec, g.batchP99) {
+		t.Errorf("batch p99 = %.10g, golden %.10g", qs[1].P99SojournSec, g.batchP99)
+	}
+	if qs[1].PreemptKills != g.preemptKills {
+		t.Errorf("batch absorbed %d preempt kills, golden %d", qs[1].PreemptKills, g.preemptKills)
+	}
+}
+
 // TestFirstFitPlacerMatchesDefault pins the Placer refactor: a Dispatcher
 // with the explicit first-fit Placer must place exactly like the nil
 // (historical scan-order) default, bit-for-bit.
