@@ -21,7 +21,7 @@ func BenchmarkOpenSystemEngine(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		c := New(DefaultConfig())
-		res, err := c.RunOpen(subs, fullSpeedScheduler{})
+		res, err := c.RunOpen(subs, &fullSpeedScheduler{})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -30,6 +30,67 @@ func BenchmarkOpenSystemEngine(b *testing.B) {
 		}
 	}
 }
+
+// scaleRun is one large open-system run for the scaling benchmarks: a
+// bimodal big/little fleet, a drain/fail storm with autoscaler rejoins, and
+// a classed (latency/batch) arrival stream, so the weighted-admission,
+// node-event and heterogeneous-rate paths are all on the clock. The
+// scheduler is the trivial whole-node policy so the engine dominates. The
+// arrival rate keeps the system loaded but *stable* (in-flight apps plateau
+// near 80 at any stream length): an overloaded queue grows its backlog with
+// the stream, making every engine — indexed or not — intrinsically
+// quadratic, which would measure the workload rather than the engine.
+func scaleRun(b *testing.B, apps int) {
+	b.Helper()
+	const nodes = 64
+	fleet, err := workload.BimodalFleet(nodes, workload.BigNode(), workload.LittleNode(), 0.5, rand.New(rand.NewSource(2)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	specs := SpecsFrom(fleet)
+	rng := rand.New(rand.NewSource(3))
+	arrivals, err := workload.PoissonArrivals(apps, 0.018, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tagged, err := workload.TagArrivals(arrivals, workload.LatencyBatchMix(0.3), rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	subs := Submissions(tagged)
+	span := tagged[len(tagged)-1].At
+	storm, err := StormEvents(nodes, 4, 4, span*0.1, span*0.8, 30, rand.New(rand.NewSource(4)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c, err := NewHetero(DefaultConfig(), specs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := c.ScheduleNodeEvents(storm...); err != nil {
+			b.Fatal(err)
+		}
+		res, err := c.RunOpen(subs, &fullSpeedScheduler{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Apps) != apps {
+			b.Fatalf("%d apps completed, want %d", len(res.Apps), apps)
+		}
+	}
+}
+
+// BenchmarkOpenSystemEngine2500 is the half-scale point of the scaling pair:
+// together with the 5k benchmark it pins the engine's growth rate (doubling
+// the stream should far undercut the old engine's ~4x quadratic cost).
+func BenchmarkOpenSystemEngine2500(b *testing.B) { scaleRun(b, 2500) }
+
+// BenchmarkOpenSystemEngine5000 is the production-scale stress point from
+// the ROADMAP's event-queue-indexing item: 5k classed arrivals on a churny
+// 64-node bimodal fleet.
+func BenchmarkOpenSystemEngine5000(b *testing.B) { scaleRun(b, 5000) }
 
 // BenchmarkClosedBatchEngine is the closed-batch counterpart on the same
 // 200-job set, isolating the cost of arrival handling from the rest of the
@@ -46,7 +107,7 @@ func BenchmarkClosedBatchEngine(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		c := New(DefaultConfig())
-		if _, err := c.Run(jobs, fullSpeedScheduler{}); err != nil {
+		if _, err := c.Run(jobs, &fullSpeedScheduler{}); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -19,18 +19,38 @@ func testBench(t *testing.T, name string) *workload.Benchmark {
 }
 
 // fullSpeedScheduler gives the FCFS head whole nodes, like the isolated
-// baseline, but concurrently for every app.
-type fullSpeedScheduler struct{}
+// baseline, but concurrently for every app. Schedule runs on every engine
+// event, so it reuses a waiting buffer (the same AppendWaitingApps idiom the
+// production dispatchers use) instead of allocating a fresh waiting set per
+// call — the engine benchmarks drive it thousands of times per run.
+type fullSpeedScheduler struct {
+	waitBuf  []*App
+	emptyBuf []*Node
+}
 
-func (fullSpeedScheduler) Name() string                       { return "test-full" }
-func (fullSpeedScheduler) Prepare(*Cluster, *App) ProfilePlan { return ProfilePlan{} }
-func (s fullSpeedScheduler) Schedule(c *Cluster) {
-	for _, app := range c.WaitingApps() {
-		for _, n := range c.Nodes() {
+func (*fullSpeedScheduler) Name() string                       { return "test-full" }
+func (*fullSpeedScheduler) Prepare(*Cluster, *App) ProfilePlan { return ProfilePlan{} }
+func (s *fullSpeedScheduler) Schedule(c *Cluster) {
+	s.waitBuf = c.AppendWaitingApps(s.waitBuf[:0])
+	if len(s.waitBuf) == 0 {
+		return
+	}
+	// Candidate nodes can only fill up during this call (Spawn adds, nothing
+	// removes), so the empty-and-available set is collected once, in node
+	// order, and rechecked for emptiness per placement: the walk below makes
+	// exactly the placements the full per-app node scan made.
+	s.emptyBuf = s.emptyBuf[:0]
+	for _, n := range c.Nodes() {
+		if n.Available() && len(n.Executors) == 0 {
+			s.emptyBuf = append(s.emptyBuf, n)
+		}
+	}
+	for _, app := range s.waitBuf {
+		for _, n := range s.emptyBuf {
 			if len(app.Executors) >= app.MaxExecutors {
 				break
 			}
-			if !n.Available() || len(n.Executors) > 0 || app.ExecutorOn(n) {
+			if len(n.Executors) > 0 || app.ExecutorOn(n) {
 				continue
 			}
 			share := app.RemainingGB / float64(app.MaxExecutors-len(app.Executors))
@@ -75,7 +95,7 @@ func TestSingleAppMatchesIsolatedTime(t *testing.T) {
 	cfg := DefaultConfig()
 	c := New(cfg)
 	job := workload.Job{Bench: testBench(t, "HB.Sort"), InputGB: 30}
-	res, err := c.Run([]workload.Job{job}, fullSpeedScheduler{})
+	res, err := c.Run([]workload.Job{job}, &fullSpeedScheduler{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -88,7 +108,7 @@ func TestSingleAppMatchesIsolatedTime(t *testing.T) {
 
 func TestRunRejectsEmpty(t *testing.T) {
 	c := New(DefaultConfig())
-	if _, err := c.Run(nil, fullSpeedScheduler{}); err == nil {
+	if _, err := c.Run(nil, &fullSpeedScheduler{}); err == nil {
 		t.Fatal("empty run must error")
 	}
 }
@@ -246,12 +266,12 @@ func TestOOMKillAndBlacklist(t *testing.T) {
 func TestProfilingPlanValidation(t *testing.T) {
 	c := New(DefaultConfig())
 	jobs := []workload.Job{{Bench: testBench(t, "HB.Sort"), InputGB: 10}}
-	bad := planScheduler{plan: ProfilePlan{VolumeGB: -1}}
+	bad := &planScheduler{plan: ProfilePlan{VolumeGB: -1}}
 	if _, err := c.Run(jobs, bad); err == nil {
 		t.Fatal("negative profiling volume must error")
 	}
 	c2 := New(DefaultConfig())
-	bad2 := planScheduler{plan: ProfilePlan{VolumeGB: 1, ContributesGB: 2}}
+	bad2 := &planScheduler{plan: ProfilePlan{VolumeGB: 1, ContributesGB: 2}}
 	if _, err := c2.Run(jobs, bad2); err == nil {
 		t.Fatal("contribution above volume must error")
 	}
@@ -259,18 +279,19 @@ func TestProfilingPlanValidation(t *testing.T) {
 
 type planScheduler struct {
 	plan ProfilePlan
+	full fullSpeedScheduler
 }
 
-func (planScheduler) Name() string                         { return "test-plan" }
-func (p planScheduler) Prepare(*Cluster, *App) ProfilePlan { return p.plan }
-func (p planScheduler) Schedule(c *Cluster)                { fullSpeedScheduler{}.Schedule(c) }
+func (*planScheduler) Name() string                         { return "test-plan" }
+func (p *planScheduler) Prepare(*Cluster, *App) ProfilePlan { return p.plan }
+func (p *planScheduler) Schedule(c *Cluster)                { p.full.Schedule(c) }
 
 func TestProfilingContributionCapped(t *testing.T) {
 	// Contribution is capped at the input size: the app finishes during
 	// profiling with no executors.
 	c := New(DefaultConfig())
 	jobs := []workload.Job{{Bench: testBench(t, "HB.Sort"), InputGB: 0.2}}
-	res, err := c.Run(jobs, planScheduler{plan: ContributingProfile(5)})
+	res, err := c.Run(jobs, &planScheduler{plan: ContributingProfile(5)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -287,7 +308,7 @@ func TestStallDetection(t *testing.T) {
 	// A scheduler that never spawns anything must be reported as stalled.
 	c := New(DefaultConfig())
 	jobs := []workload.Job{{Bench: testBench(t, "HB.Sort"), InputGB: 10}}
-	_, err := c.Run(jobs, planScheduler{plan: ProfilePlan{}})
+	_, err := c.Run(jobs, &planScheduler{plan: ProfilePlan{}})
 	_ = err // planScheduler delegates to fullSpeed; use a no-op instead
 	c2 := New(DefaultConfig())
 	if _, err := c2.Run(jobs, noopScheduler{}); err == nil {
@@ -313,7 +334,7 @@ func TestForeignTaskRunsAndInterferes(t *testing.T) {
 		t.Fatal(err)
 	}
 	jobs := []workload.Job{{Bench: testBench(t, "HB.Kmeans"), InputGB: 30}}
-	res, err := c.Run(jobs, fullSpeedScheduler{})
+	res, err := c.Run(jobs, &fullSpeedScheduler{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -359,7 +380,7 @@ func TestTraceSamplesUtilization(t *testing.T) {
 		{Bench: testBench(t, "HB.Sort"), InputGB: 64},
 		{Bench: testBench(t, "HB.Kmeans"), InputGB: 64},
 	}
-	res, err := c.Run(jobs, fullSpeedScheduler{})
+	res, err := c.Run(jobs, &fullSpeedScheduler{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -431,7 +452,7 @@ func TestDeterministicRuns(t *testing.T) {
 	}
 	run := func() *Result {
 		c := New(DefaultConfig())
-		res, err := c.Run(mkJobs(), fullSpeedScheduler{})
+		res, err := c.Run(mkJobs(), &fullSpeedScheduler{})
 		if err != nil {
 			t.Fatal(err)
 		}

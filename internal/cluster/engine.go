@@ -58,6 +58,28 @@ type Cluster struct {
 	// single-class path stays bit-for-bit identical to the pre-class engine.
 	classed bool
 
+	// Event index (see eventindex.go): active sets and done-counters keep
+	// the per-event loops proportional to in-flight work, dirtyNodes and the
+	// wake heap keep rate recomputation proportional to what changed.
+	active        []*App         // apps not yet done, submission order
+	profiling     []*App         // apps currently profiling, submission order
+	activeForeign []*ForeignTask // foreign tasks not yet done, registration order
+	doneApps      int
+	doneForeign   int
+	dirtyNodes    []*Node
+	wakes         wakeHeap
+
+	// checkEvent, when set (differential property tests only), is invoked
+	// once per event-loop iteration with the profiling share and the chosen
+	// event dt, so a test can replay the scan-based reference engine against
+	// the indexed state and assert exact agreement.
+	checkEvent func(share, dt float64, ok bool)
+
+	// victimBuf/bestVictimBuf are PreemptFor scratch: victims are collected
+	// during the feasibility scan so the kill phase never rescans the node.
+	victimBuf     []*Executor
+	bestVictimBuf []*Executor
+
 	totalOOM          int
 	totalFailKills    int
 	totalPreemptKills int
@@ -144,10 +166,12 @@ func (c *Cluster) WaitingApps() []*App { return c.AppendWaitingApps(nil) }
 
 // AppendWaitingApps is the allocation-free form of WaitingApps for hot-path
 // callers: the waiting set is appended to buf (typically buf[:0] of a reused
-// slice) and returned.
+// slice) and returned. Only the active set is scanned: completed apps can
+// never be waiting, so the filter's outcome is identical and the walk stays
+// proportional to in-flight work on long streams.
 func (c *Cluster) AppendWaitingApps(buf []*App) []*App {
 	start := len(buf)
-	for _, a := range c.apps {
+	for _, a := range c.active {
 		if (a.State == StateReady || a.State == StateRunning) &&
 			a.RemainingGB > 0 && len(a.Executors) < a.MaxExecutors {
 			buf = append(buf, a)
@@ -181,6 +205,7 @@ func (c *Cluster) AddReadyApp(job workload.Job) *App {
 		State:        StateReady,
 	}
 	c.apps = append(c.apps, a)
+	c.active = append(c.active, a)
 	return a
 }
 
@@ -198,6 +223,8 @@ func (c *Cluster) AddForeign(nodeID int, name string, cpuLoad, memoryGB, workSec
 	}
 	c.nodes[nodeID].Foreign = append(c.nodes[nodeID].Foreign, f)
 	c.foreign = append(c.foreign, f)
+	c.activeForeign = append(c.activeForeign, f)
+	c.markDirty(c.nodes[nodeID])
 	return f, nil
 }
 
@@ -273,6 +300,7 @@ func (c *Cluster) Spawn(app *App, node *Node, reserveGB, itemsGB float64) (*Exec
 	}
 	node.Executors = append(node.Executors, e)
 	app.Executors = append(app.Executors, e)
+	c.markDirty(node)
 	if app.State == StateReady {
 		app.State = StateRunning
 		if app.StartTime < 0 {
@@ -321,12 +349,15 @@ func (c *Cluster) Grow(e *Executor, newReserveGB, newItemsGB float64) error {
 	e.ItemsGB = newItemsGB
 	e.NeedGB = e.App.Job.Bench.Footprint(newItemsGB)
 	e.ActualGB = c.resident(e.NeedGB, e.ReservedGB)
+	c.markDirty(e.Node)
 	return nil
 }
 
-// removeExecutor detaches e from its node and app.
+// removeExecutor detaches e from its node and app. The node's co-runners
+// lose a contender, so it is marked for rate recomputation.
 func (c *Cluster) removeExecutor(e *Executor) {
 	n := e.Node
+	c.markDirty(n)
 	for i, x := range n.Executors {
 		if x == e {
 			n.Executors = append(n.Executors[:i], n.Executors[i+1:]...)
@@ -423,53 +454,65 @@ func (c *Cluster) RunOpen(subs []Submission, sched Scheduler) (*Result, error) {
 		return c.pending[i].Class.Weight > c.pending[j].Class.Weight
 	})
 	c.apps = make([]*App, 0, len(subs))
+	c.resetIndex()
 
 	for ev := 0; ev < maxEvents; ev++ {
 		if err := c.applyNodeEvents(); err != nil {
 			return nil, err
 		}
 		c.completeDrains()
-		if err := c.admitArrivals(sched); err != nil {
+		first, err := c.admitArrivals(sched)
+		if err != nil {
 			return nil, err
 		}
 		if c.allDone() {
 			return c.result(), nil
 		}
-		c.admitProfiling()
+		c.admitProfiling(first)
 		sched.Schedule(c)
 		c.recomputeRates()
-		dt, ok := c.nextEventDt()
+		// The profiling share is a pure function of the profiling set, which
+		// cannot change between event selection and integration: compute it
+		// once per iteration and thread it through both.
+		share := c.profilingShare()
+		dt, ok := c.nextEventDt(share)
+		if c.checkEvent != nil {
+			c.checkEvent(share, dt, ok)
+		}
 		if !ok {
 			return nil, fmt.Errorf("cluster: simulation stalled at t=%.1fs under %s (no runnable work)", c.now, sched.Name())
 		}
-		c.advance(dt)
+		c.advance(dt, share)
 	}
 	return nil, fmt.Errorf("cluster: exceeded %d events under %s", maxEvents, sched.Name())
 }
 
-// admitArrivals moves every submission whose time has come into the cluster.
-// All apps arriving at the same instant are registered (visible via Apps())
-// before any of their Prepare calls fire, preserving the pre-refactor
-// closed-batch semantics where a policy's Prepare could inspect the whole
-// batch; profiling plans are then gathered in arrival order.
-func (c *Cluster) admitArrivals(sched Scheduler) error {
+// admitArrivals moves every submission whose time has come into the cluster
+// and returns the index of the first newly admitted application. All apps
+// arriving at the same instant are registered (visible via Apps()) before
+// any of their Prepare calls fire, preserving the pre-refactor closed-batch
+// semantics where a policy's Prepare could inspect the whole batch;
+// profiling plans are then gathered in arrival order.
+func (c *Cluster) admitArrivals(sched Scheduler) (int, error) {
 	const eps = 1e-9
 	first := len(c.apps)
 	for len(c.pending) > 0 && c.pending[0].At <= c.now+eps {
 		sub := c.pending[0]
 		c.pending = c.pending[1:]
-		c.apps = append(c.apps, &App{
+		a := &App{
 			ID: len(c.apps), Job: sub.Job, Class: sub.Class,
 			SubmitTime: sub.At, ReadyTime: -1, StartTime: -1, DoneTime: -1,
 			RemainingGB:  sub.Job.InputGB,
 			MaxExecutors: c.cfg.NodesFor(sub.Job.InputGB),
 			State:        StateQueued,
-		})
+		}
+		c.apps = append(c.apps, a)
+		c.active = append(c.active, a)
 	}
 	for _, app := range c.apps[first:] {
 		plan := sched.Prepare(c, app)
 		if plan.VolumeGB < 0 || plan.ContributesGB < 0 || plan.ContributesGB > plan.VolumeGB+1e-9 {
-			return fmt.Errorf("cluster: %s returned invalid profiling plan %+v", sched.Name(), plan)
+			return first, fmt.Errorf("cluster: %s returned invalid profiling plan %+v", sched.Name(), plan)
 		}
 		if plan.ContributesGB > app.RemainingGB {
 			plan.ContributesGB = app.RemainingGB
@@ -482,44 +525,37 @@ func (c *Cluster) admitArrivals(sched Scheduler) error {
 			app.ReadyTime = c.now
 		}
 	}
-	return nil
+	return first, nil
 }
 
+// allDone is O(1): pending is a queue head and the done-counters are bumped
+// at the single place each entity completes (advance, or failNode for
+// foreign tasks lost with their node).
 func (c *Cluster) allDone() bool {
-	if len(c.pending) > 0 {
-		return false
-	}
-	for _, a := range c.apps {
-		if a.State != StateDone {
-			return false
-		}
-	}
-	for _, f := range c.foreign {
-		if !f.done {
-			return false
-		}
-	}
-	return true
+	return len(c.pending) == 0 && c.doneApps == len(c.apps) && c.doneForeign == len(c.foreign)
 }
 
 // admitProfiling moves every queued application onto the coordinating node;
-// profiling runs share the coordinator's capacity processor-style.
-func (c *Cluster) admitProfiling() {
-	for _, a := range c.apps {
+// profiling runs share the coordinator's capacity processor-style. Queued
+// apps are always the tail admitted this iteration (admission and this call
+// run back-to-back every event), so only apps[first:] is walked.
+func (c *Cluster) admitProfiling(first int) {
+	for _, a := range c.apps[first:] {
 		if a.State == StateQueued {
 			a.State = StateProfiling
+			c.profiling = append(c.profiling, a)
 		}
 	}
 }
 
 // profilingShare returns the rate scale applied to each profiling app so the
-// aggregate stays within the coordinator's capacity.
+// aggregate stays within the coordinator's capacity. The profiling list is
+// kept in submission order, so the sum accumulates in exactly the order the
+// full-apps scan used to.
 func (c *Cluster) profilingShare() float64 {
 	var sum float64
-	for _, a := range c.apps {
-		if a.State == StateProfiling {
-			sum += a.Job.Bench.ScanRate
-		}
+	for _, a := range c.profiling {
+		sum += a.Job.Bench.ScanRate
 	}
 	if sum <= c.cfg.CoordinatorRateGBps || sum == 0 {
 		return 1
@@ -527,54 +563,96 @@ func (c *Cluster) profilingShare() float64 {
 	return c.cfg.CoordinatorRateGBps / sum
 }
 
-// recomputeRates refreshes all executor/foreign rates, applying CPU
-// contention, interference, paging, cache-efficiency and OOM kills. All
-// capacity math reads the node's own spec, so heterogeneous fleets page,
-// contend and speed-scale per node.
+// recomputeRates refreshes executor/foreign rates, applying CPU contention,
+// interference, paging, cache-efficiency and OOM kills. All capacity math
+// reads the node's own spec, so heterogeneous fleets page, contend and
+// speed-scale per node. Only dirty nodes are recomputed: a rate is a
+// deterministic function of node-local state, so a node whose executors,
+// foreign tasks and startup gates did not change since the last pass holds
+// bit-identical rates already (every mutation marks its node via markDirty,
+// and startup expiries re-dirty through the wake heap). Dirty nodes are
+// processed in node order — the order the full scan used — because OOM-kill
+// charge-backs on different nodes can touch the same application.
 func (c *Cluster) recomputeRates() {
-	for _, n := range c.nodes {
-		c.enforceOOM(n)
-		sumD := n.CPUDemand()
-		usable := n.Spec.UsableGB()
-		speed := n.Spec.SpeedFactor
-		overflow := n.ActualGB() - c.cfg.PressureWatermark*usable
-		pageFactor := 1.0
-		if overflow > 0 {
-			pageFactor = 1 / (1 + c.cfg.PagePenalty*overflow/usable)
+	c.wakeExpiredNodes()
+	if len(c.dirtyNodes) == 0 {
+		return
+	}
+	// Insertion sort by node ID: c.nodes is ID-ordered (joins append rising
+	// IDs), the dirty list is short, and sort.Slice would allocate.
+	for i := 1; i < len(c.dirtyNodes); i++ {
+		for j := i; j > 0 && c.dirtyNodes[j].ID < c.dirtyNodes[j-1].ID; j-- {
+			c.dirtyNodes[j], c.dirtyNodes[j-1] = c.dirtyNodes[j-1], c.dirtyNodes[j]
 		}
-		cpuFactor := 1.0
-		if cap := n.cpuCap; sumD > cap {
-			cpuFactor = cap / sumD
+	}
+	// Drain by index, not by range snapshot: rateNode's enforceOOM can call
+	// markDirty mid-drain (today only for the node being rated, whose flag
+	// is still set, but a range over a stale snapshot would silently strand
+	// any newly appended node with dirty=true and no list entry).
+	for i := 0; i < len(c.dirtyNodes); i++ {
+		n := c.dirtyNodes[i]
+		c.rateNode(n)
+		n.dirty = false
+	}
+	c.dirtyNodes = c.dirtyNodes[:0]
+}
+
+// rateNode recomputes every rate on one node (the former recomputeRates
+// per-node body) and refreshes the node's wake-up: the earliest future
+// startup expiry among its executors, re-registered on the wake heap when it
+// changed so the node is re-dirtied the instant a zero rate comes alive.
+func (c *Cluster) rateNode(n *Node) {
+	c.enforceOOM(n)
+	sumD := n.CPUDemand()
+	usable := n.Spec.UsableGB()
+	speed := n.Spec.SpeedFactor
+	overflow := n.ActualGB() - c.cfg.PressureWatermark*usable
+	pageFactor := 1.0
+	if overflow > 0 {
+		pageFactor = 1 / (1 + c.cfg.PagePenalty*overflow/usable)
+	}
+	cpuFactor := 1.0
+	if cap := n.cpuCap; sumD > cap {
+		cpuFactor = cap / sumD
+	}
+	wake := math.Inf(1)
+	for _, e := range n.Executors {
+		if e.App.startupUntil > c.now {
+			e.rate = 0
+			if e.App.startupUntil < wake {
+				wake = e.App.startupUntil
+			}
+			continue
 		}
-		for _, e := range n.Executors {
-			if e.App.startupUntil > c.now {
-				e.rate = 0
-				continue
+		interference := 1 / (1 + c.cfg.InterferenceAlpha*(sumD-e.Demand))
+		cacheEff := 1.0
+		if e.FairShareGB > c.cfg.MinChunkGB && e.ItemsGB < e.FairShareGB {
+			cacheEff = math.Pow(e.ItemsGB/e.FairShareGB, c.cfg.CacheGamma)
+			if cacheEff < c.cfg.CacheFloor {
+				cacheEff = c.cfg.CacheFloor
 			}
-			interference := 1 / (1 + c.cfg.InterferenceAlpha*(sumD-e.Demand))
-			cacheEff := 1.0
-			if e.FairShareGB > c.cfg.MinChunkGB && e.ItemsGB < e.FairShareGB {
-				cacheEff = math.Pow(e.ItemsGB/e.FairShareGB, c.cfg.CacheGamma)
-				if cacheEff < c.cfg.CacheFloor {
-					cacheEff = c.cfg.CacheFloor
-				}
-			}
-			heapFactor := 1.0
-			if e.ReservedGB > 0 && e.NeedGB > e.ReservedGB {
-				shortfall := (e.NeedGB - e.ReservedGB) / e.ReservedGB
-				heapFactor = 1 / (1 + c.cfg.HeapPenalty*shortfall*shortfall)
-				if heapFactor < c.cfg.HeapFloor {
-					heapFactor = c.cfg.HeapFloor
-				}
-			}
-			e.rate = e.App.Job.Bench.ScanRate * speed * cpuFactor * interference * pageFactor * cacheEff * heapFactor
 		}
-		for _, f := range n.Foreign {
-			if f.done {
-				continue
+		heapFactor := 1.0
+		if e.ReservedGB > 0 && e.NeedGB > e.ReservedGB {
+			shortfall := (e.NeedGB - e.ReservedGB) / e.ReservedGB
+			heapFactor = 1 / (1 + c.cfg.HeapPenalty*shortfall*shortfall)
+			if heapFactor < c.cfg.HeapFloor {
+				heapFactor = c.cfg.HeapFloor
 			}
-			interference := 1 / (1 + c.cfg.InterferenceAlpha*(sumD-f.CPULoad))
-			f.rate = speed * cpuFactor * interference * pageFactor
+		}
+		e.rate = e.App.Job.Bench.ScanRate * speed * cpuFactor * interference * pageFactor * cacheEff * heapFactor
+	}
+	for _, f := range n.Foreign {
+		if f.done {
+			continue
+		}
+		interference := 1 / (1 + c.cfg.InterferenceAlpha*(sumD-f.CPULoad))
+		f.rate = speed * cpuFactor * interference * pageFactor
+	}
+	if wake != n.wakeAt {
+		n.wakeAt = wake
+		if !math.IsInf(wake, 1) {
+			c.wakes.push(wake, n)
 		}
 	}
 }
@@ -627,11 +705,14 @@ func (c *Cluster) Preempt(victim *Executor, by *App) error {
 // the placeable node that can reach every target with the fewest kills
 // (ties keep node-scan order) and returns the number of executors killed —
 // zero when some placeable node already has the resources, or when no node
-// can reach them even after killing every eligible victim.
+// can reach them even after killing every eligible victim. Victims are
+// collected during the feasibility scan itself (newest first, exactly the
+// executors the scan charged), so the kill phase is a straight walk of that
+// list instead of a tail rescan per kill.
 func (c *Cluster) PreemptFor(app *App, needGB, cpuDemand float64, maxAppsPerNode int) int {
 	const eps = 1e-9
 	bestNode := -1
-	bestKills := 0
+	c.bestVictimBuf = c.bestVictimBuf[:0]
 	for i, n := range c.nodes {
 		if !n.Available() || app.ExecutorOn(n) || (app.BlockedOn(n) && len(n.Executors) > 0) {
 			continue
@@ -655,7 +736,7 @@ func (c *Cluster) PreemptFor(app *App, needGB, cpuDemand float64, maxAppsPerNode
 		if ok() {
 			return 0
 		}
-		kills := 0
+		c.victimBuf = c.victimBuf[:0]
 		for j := len(n.Executors) - 1; j >= 0 && !ok(); j-- {
 			e := n.Executors[j]
 			if !e.App.Class.Preemptible || e.App == app || e.App.Class.Weight >= app.Class.Weight {
@@ -664,32 +745,21 @@ func (c *Cluster) PreemptFor(app *App, needGB, cpuDemand float64, maxAppsPerNode
 			free += e.ReservedGB
 			cpuFree += e.Demand
 			apps--
-			kills++
+			c.victimBuf = append(c.victimBuf, e)
 		}
 		if !ok() {
 			continue
 		}
-		if bestNode < 0 || kills < bestKills {
-			bestNode, bestKills = i, kills
+		if bestNode < 0 || len(c.victimBuf) < len(c.bestVictimBuf) {
+			bestNode = i
+			c.victimBuf, c.bestVictimBuf = c.bestVictimBuf, c.victimBuf
 		}
 	}
 	if bestNode < 0 {
 		return 0
 	}
-	n := c.nodes[bestNode]
 	killed := 0
-	for killed < bestKills {
-		var victim *Executor
-		for j := len(n.Executors) - 1; j >= 0; j-- {
-			e := n.Executors[j]
-			if e.App.Class.Preemptible && e.App != app && e.App.Class.Weight < app.Class.Weight {
-				victim = e
-				break
-			}
-		}
-		if victim == nil {
-			break
-		}
+	for _, victim := range c.bestVictimBuf {
 		if err := c.Preempt(victim, app); err != nil {
 			break
 		}
@@ -721,12 +791,16 @@ func appRate(a *App) float64 {
 	return s
 }
 
-// nextEventDt finds the time to the next state-changing event.
-func (c *Cluster) nextEventDt() (float64, bool) {
+// nextEventDt finds the time to the next state-changing event. Rate-driven
+// completion candidates are scanned over the active sets only (a done app or
+// foreign task can never produce one); exact-time candidates come from the
+// queue heads. The minimum over the surviving candidates is the same float
+// the full scan produced — min is order-independent, and every candidate is
+// computed from current state with the original expressions.
+func (c *Cluster) nextEventDt(share float64) (float64, bool) {
 	const tiny = 1e-9
 	best := math.Inf(1)
-	share := c.profilingShare()
-	for _, a := range c.apps {
+	for _, a := range c.active {
 		switch a.State {
 		case StateProfiling:
 			rate := a.Job.Bench.ScanRate * c.cfg.ProfilingRateFactor * share
@@ -747,7 +821,7 @@ func (c *Cluster) nextEventDt() (float64, bool) {
 			}
 		}
 	}
-	for _, f := range c.foreign {
+	for _, f := range c.activeForeign {
 		if !f.done && f.rate > tiny {
 			if dt := f.remaining / f.rate; dt < best {
 				best = dt
@@ -776,12 +850,16 @@ func (c *Cluster) nextEventDt() (float64, bool) {
 	return best, true
 }
 
-// advance integrates progress over dt and fires completions.
-func (c *Cluster) advance(dt float64) {
+// advance integrates progress over dt and fires completions. Only active
+// entities are walked (in the same relative order the full scans used, so
+// identical float operations run in identical order); entities that complete
+// are counted done and compacted out of their active list in place.
+func (c *Cluster) advance(dt, share float64) {
 	const eps = 1e-6
 	c.now += dt
-	share := c.profilingShare()
-	for _, a := range c.apps {
+	w := 0
+	leftProfiling := false
+	for _, a := range c.active {
 		switch a.State {
 		case StateProfiling:
 			a.profileLeft -= a.Job.Bench.ScanRate * c.cfg.ProfilingRateFactor * share * dt
@@ -799,6 +877,7 @@ func (c *Cluster) advance(dt float64) {
 					a.State = StateReady
 					a.ReadyTime = c.now
 				}
+				leftProfiling = true
 			}
 		case StateRunning:
 			a.RemainingGB -= appRate(a) * dt
@@ -811,9 +890,31 @@ func (c *Cluster) advance(dt float64) {
 				a.DoneTime = c.now
 			}
 		}
+		if a.State == StateDone {
+			c.doneApps++
+		} else {
+			c.active[w] = a
+			w++
+		}
 	}
-	for _, f := range c.foreign {
+	clear(c.active[w:])
+	c.active = c.active[:w]
+	if leftProfiling {
+		w = 0
+		for _, a := range c.profiling {
+			if a.State == StateProfiling {
+				c.profiling[w] = a
+				w++
+			}
+		}
+		clear(c.profiling[w:])
+		c.profiling = c.profiling[:w]
+	}
+	w = 0
+	for _, f := range c.activeForeign {
 		if f.done {
+			// Killed by a node failure since the last sweep; already counted
+			// there, just drop it from the active list.
 			continue
 		}
 		f.remaining -= f.rate * dt
@@ -821,8 +922,18 @@ func (c *Cluster) advance(dt float64) {
 			f.remaining = 0
 			f.done = true
 			f.DoneTime = c.now
+			c.doneForeign++
+			// The finished co-runner stops contending for CPU, so its node's
+			// survivors speed up. (Its working set stays resident — see the
+			// ActualGB quirk note in node.go — so memory terms don't move.)
+			c.markDirty(f.Node)
+			continue
 		}
+		c.activeForeign[w] = f
+		w++
 	}
+	clear(c.activeForeign[w:])
+	c.activeForeign = c.activeForeign[:w]
 	if c.trace != nil {
 		c.trace.maybeSample(c.now, c.nodes)
 	}

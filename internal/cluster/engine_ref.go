@@ -1,0 +1,193 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file preserves the pre-index engine's full-scan implementations of
+// event selection, rate recomputation, the profiling share, the waiting set
+// and the completion check, verbatim. They are not called by the engine —
+// the indexed paths in engine.go replaced them — but they are the ground
+// truth the index must reproduce exactly: the differential property test
+// (property_test.go) installs Cluster.checkEvent and replays these scans
+// against the indexed engine's state on every event of randomized workloads,
+// asserting float-for-float agreement. Any bookkeeping bug in the active
+// sets, dirty marking or wake heap shows up as a divergence on the exact
+// event where it happens, not as a mysteriously shifted makespan.
+
+// refProfilingShare is the full-apps-scan profiling share.
+func (c *Cluster) refProfilingShare() float64 {
+	var sum float64
+	for _, a := range c.apps {
+		if a.State == StateProfiling {
+			sum += a.Job.Bench.ScanRate
+		}
+	}
+	if sum <= c.cfg.CoordinatorRateGBps || sum == 0 {
+		return 1
+	}
+	return c.cfg.CoordinatorRateGBps / sum
+}
+
+// refNextEventDt is the full-scan event selection: every app, every foreign
+// task, the pending head, the node-event head and the next trace sample.
+// It reads trace.nextSampleTime through a side-effect-free copy of the
+// clamp, since the engine's own call already advanced the stored instant.
+func (c *Cluster) refNextEventDt(share float64) (float64, bool) {
+	const tiny = 1e-9
+	best := math.Inf(1)
+	for _, a := range c.apps {
+		switch a.State {
+		case StateProfiling:
+			rate := a.Job.Bench.ScanRate * c.cfg.ProfilingRateFactor * share
+			if rate > 0 && a.profileLeft > 0 {
+				if dt := a.profileLeft / rate; dt < best {
+					best = dt
+				}
+			}
+		case StateRunning:
+			if a.startupUntil > c.now {
+				if dt := a.startupUntil - c.now; dt < best {
+					best = dt
+				}
+			} else if r := appRate(a); r > tiny {
+				if dt := a.RemainingGB / r; dt < best {
+					best = dt
+				}
+			}
+		}
+	}
+	for _, f := range c.foreign {
+		if !f.done && f.rate > tiny {
+			if dt := f.remaining / f.rate; dt < best {
+				best = dt
+			}
+		}
+	}
+	if len(c.pending) > 0 {
+		if dt := c.pending[0].At - c.now; dt < best {
+			best = dt
+		}
+	}
+	if dt, ok := c.nextNodeEventDt(); ok && dt < best {
+		best = dt
+	}
+	if c.trace != nil {
+		next := c.trace.nextSample
+		if next < c.now {
+			next = c.now
+		}
+		if dt := next - c.now; dt < best {
+			best = dt
+		}
+	}
+	if math.IsInf(best, 1) {
+		return 0, false
+	}
+	if best < tiny {
+		best = tiny
+	}
+	return best, true
+}
+
+// refAllDone is the full-scan completion check.
+func (c *Cluster) refAllDone() bool {
+	if len(c.pending) > 0 {
+		return false
+	}
+	for _, a := range c.apps {
+		if a.State != StateDone {
+			return false
+		}
+	}
+	for _, f := range c.foreign {
+		if !f.done {
+			return false
+		}
+	}
+	return true
+}
+
+// refWaitingApps is the full-apps-scan waiting set (including the classed
+// weighted ordering).
+func (c *Cluster) refWaitingApps() []*App {
+	var buf []*App
+	for _, a := range c.apps {
+		if (a.State == StateReady || a.State == StateRunning) &&
+			a.RemainingGB > 0 && len(a.Executors) < a.MaxExecutors {
+			buf = append(buf, a)
+		}
+	}
+	if c.classed {
+		for i := 1; i < len(buf); i++ {
+			for j := i; j > 0 && buf[j].Class.Weight > buf[j-1].Class.Weight; j-- {
+				buf[j], buf[j-1] = buf[j-1], buf[j]
+			}
+		}
+	}
+	return buf
+}
+
+// refCheckRates recomputes every rate on every node with the original
+// formula — into locals, never into engine state — and compares against the
+// rates the dirty-node pass left behind. It returns a description of the
+// first divergence, or "" when every stored rate is bit-identical to a full
+// recompute. It must run after the engine's recomputeRates and before
+// advance (the window where stored rates are supposed to be fresh); it
+// deliberately omits enforceOOM, which the engine's own pass already applied
+// to every node whose memory changed.
+func (c *Cluster) refCheckRates() string {
+	for _, n := range c.nodes {
+		sumD := n.CPUDemand()
+		usable := n.Spec.UsableGB()
+		speed := n.Spec.SpeedFactor
+		overflow := n.ActualGB() - c.cfg.PressureWatermark*usable
+		pageFactor := 1.0
+		if overflow > 0 {
+			pageFactor = 1 / (1 + c.cfg.PagePenalty*overflow/usable)
+		}
+		cpuFactor := 1.0
+		if cap := n.cpuCap; sumD > cap {
+			cpuFactor = cap / sumD
+		}
+		for _, e := range n.Executors {
+			var want float64
+			if e.App.startupUntil > c.now {
+				want = 0
+			} else {
+				interference := 1 / (1 + c.cfg.InterferenceAlpha*(sumD-e.Demand))
+				cacheEff := 1.0
+				if e.FairShareGB > c.cfg.MinChunkGB && e.ItemsGB < e.FairShareGB {
+					cacheEff = math.Pow(e.ItemsGB/e.FairShareGB, c.cfg.CacheGamma)
+					if cacheEff < c.cfg.CacheFloor {
+						cacheEff = c.cfg.CacheFloor
+					}
+				}
+				heapFactor := 1.0
+				if e.ReservedGB > 0 && e.NeedGB > e.ReservedGB {
+					shortfall := (e.NeedGB - e.ReservedGB) / e.ReservedGB
+					heapFactor = 1 / (1 + c.cfg.HeapPenalty*shortfall*shortfall)
+					if heapFactor < c.cfg.HeapFloor {
+						heapFactor = c.cfg.HeapFloor
+					}
+				}
+				want = e.App.Job.Bench.ScanRate * speed * cpuFactor * interference * pageFactor * cacheEff * heapFactor
+			}
+			if e.rate != want {
+				return fmt.Sprintf("node %d app %d executor rate %v, full recompute %v", n.ID, e.App.ID, e.rate, want)
+			}
+		}
+		for _, f := range n.Foreign {
+			if f.done {
+				continue
+			}
+			interference := 1 / (1 + c.cfg.InterferenceAlpha*(sumD-f.CPULoad))
+			want := speed * cpuFactor * interference * pageFactor
+			if f.rate != want {
+				return fmt.Sprintf("node %d foreign %q rate %v, full recompute %v", n.ID, f.Name, f.rate, want)
+			}
+		}
+	}
+	return ""
+}

@@ -1,0 +1,166 @@
+package cluster
+
+import "math"
+
+// This file is the engine's event index: the bookkeeping that makes one
+// event-loop iteration cost proportional to *what changed* instead of to the
+// size of the whole run. The scan-based engine (kept verbatim in
+// engine_ref.go as the differential-testing reference) rescanned every
+// application, foreign task and node on every event, making long arrival
+// streams quadratic. The index splits the engine's event sources in two:
+//
+//   - Exact-time events — pending submissions, node lifecycle events, trace
+//     samples, and executor startup expiries — have immutable absolute
+//     timestamps. Submissions and node events live in time-sorted queues
+//     (O(1) head), the next trace sample is a single stored instant, and
+//     startup expiries live in the lazy-deletion min-heap below.
+//
+//   - Rate-driven completions — profiling apps, running apps, foreign
+//     tasks — have deadlines of the form remaining/rate, where remaining is
+//     re-integrated with an explicit floating-point subtraction on every
+//     event. Those deadlines therefore move by an ulp or two each iteration,
+//     so a heap key recorded at push time drifts away from the freshly
+//     computed scan value and would eventually pick a different event dt.
+//     Reproducibility is a hard invariant here (golden regression tests pin
+//     the engine bit-for-bit), so these candidates are *scanned* — but only
+//     over the compact active sets (active, profiling, activeForeign), which
+//     are bounded by in-flight work rather than stream length.
+//
+// The same change-proportionality applies to rate recomputation: rates are
+// deterministic functions of node-local state, so a node whose executors,
+// foreign tasks and startup gates did not change since the last pass would
+// recompute to bit-identical values. Such nodes are skipped entirely; every
+// mutation that can change a rate marks its node dirty (see markDirty), and
+// startup expiries — the one rate change that arrives with the clock rather
+// than with a mutation — are re-dirtied through the wake heap.
+
+// nodeWake is one scheduled rate wake-up: node n must be re-dirtied at time
+// at because an executor's startup gate expires then.
+type nodeWake struct {
+	at float64
+	n  *Node
+}
+
+// wakeHeap is a hand-rolled min-heap of node wake-ups ordered by time, with
+// lazy deletion: an entry is live only while its node's wakeAt still equals
+// the entry's time. Re-dirtying a node rewrites n.wakeAt (and pushes a fresh
+// entry if a future expiry remains), which invalidates any older entries in
+// place; they are discarded when they surface at the top. The invariant is
+// one-directional — whenever n.wakeAt is finite, an entry with exactly that
+// time is somewhere in the heap — so a peek never misses a due wake-up.
+type wakeHeap []nodeWake
+
+// push adds a wake-up entry.
+func (h *wakeHeap) push(at float64, n *Node) {
+	*h = append(*h, nodeWake{at: at, n: n})
+	i := len(*h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if (*h)[parent].at <= (*h)[i].at {
+			break
+		}
+		(*h)[parent], (*h)[i] = (*h)[i], (*h)[parent]
+		i = parent
+	}
+}
+
+// pop removes and returns the earliest entry; callers must check ok.
+func (h *wakeHeap) pop() (nodeWake, bool) {
+	if len(*h) == 0 {
+		return nodeWake{}, false
+	}
+	top := (*h)[0]
+	last := len(*h) - 1
+	(*h)[0] = (*h)[last]
+	(*h)[last] = nodeWake{}
+	*h = (*h)[:last]
+	h.siftDown(0)
+	return top, true
+}
+
+// siftDown restores the heap order below index i.
+func (h *wakeHeap) siftDown(i int) {
+	n := len(*h)
+	for {
+		left, right := 2*i+1, 2*i+2
+		smallest := i
+		if left < n && (*h)[left].at < (*h)[smallest].at {
+			smallest = left
+		}
+		if right < n && (*h)[right].at < (*h)[smallest].at {
+			smallest = right
+		}
+		if smallest == i {
+			return
+		}
+		(*h)[i], (*h)[smallest] = (*h)[smallest], (*h)[i]
+		i = smallest
+	}
+}
+
+// markDirty queues a node for the next rate recomputation pass. Every
+// mutation that can change an executor or foreign rate on the node must call
+// it: executor membership changes (Spawn, removeExecutor — which covers app
+// completion, OOM kills, node-failure kills and preemption), reservation and
+// allocation changes (Grow), foreign-task arrival and completion, node
+// lifecycle events, and startup-expiry wake-ups. Idempotent per pass.
+func (c *Cluster) markDirty(n *Node) {
+	if !n.dirty {
+		n.dirty = true
+		c.dirtyNodes = append(c.dirtyNodes, n)
+	}
+}
+
+// wakeExpiredNodes pops every due wake-up off the heap and re-dirties its
+// node, discarding entries invalidated by a later recompute. The comparison
+// is strict-past (at <= now), mirroring the startupUntil > now gate in the
+// rate formula: the node recomputes on exactly the event where the gate
+// flips.
+func (c *Cluster) wakeExpiredNodes() {
+	for len(c.wakes) > 0 {
+		top := c.wakes[0]
+		if top.n.wakeAt != top.at {
+			// Stale: the node's wake time was rewritten since this entry was
+			// pushed.
+			c.wakes.pop()
+			continue
+		}
+		if top.at > c.now {
+			return
+		}
+		c.wakes.pop()
+		top.n.wakeAt = math.Inf(1)
+		c.markDirty(top.n)
+	}
+}
+
+// resetIndex rebuilds the event index for a fresh run: empty active sets,
+// zeroed done-counters (pre-registered foreign tasks may already be done
+// from an earlier run on the same cluster), every node dirty (no rates have
+// been computed for this run), and no pending wake-ups.
+func (c *Cluster) resetIndex() {
+	c.active = c.active[:0]
+	c.profiling = c.profiling[:0]
+	c.doneApps = 0
+	c.activeForeign = c.activeForeign[:0]
+	c.doneForeign = 0
+	for _, f := range c.foreign {
+		if f.done {
+			c.doneForeign++
+		} else {
+			c.activeForeign = append(c.activeForeign, f)
+		}
+	}
+	c.wakes = c.wakes[:0]
+	for _, n := range c.nodes {
+		n.wakeAt = math.Inf(1)
+		c.markDirty(n)
+	}
+}
+
+// ActiveApps returns the submitted applications that have not completed, in
+// submission (FCFS) order. It is the scheduler-facing view of the engine's
+// active set: policies that walk applications every scheduling event should
+// iterate it instead of Apps(), which includes every already-finished
+// application of the stream. Callers must not mutate the returned slice.
+func (c *Cluster) ActiveApps() []*App { return c.active }

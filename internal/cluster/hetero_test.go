@@ -74,7 +74,7 @@ func TestSpeedFactorScalesRates(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		res, err := c.Run([]workload.Job{testJob(t, 10)}, fullSpeedScheduler{})
+		res, err := c.Run([]workload.Job{testJob(t, 10)}, &fullSpeedScheduler{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -104,7 +104,7 @@ func TestDrainStopsPlacements(t *testing.T) {
 		{At: 0, Job: testJob(t, 20)},   // lands on both nodes before the drain
 		{At: 200, Job: testJob(t, 20)}, // arrives after: node 0 must be off-limits
 	}
-	res, err := c.RunOpen(subs, fullSpeedScheduler{})
+	res, err := c.RunOpen(subs, &fullSpeedScheduler{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -134,7 +134,7 @@ func TestFailKillsAndReprocesses(t *testing.T) {
 	if err := c.ScheduleNodeEvents(NodeEvent{At: 30, Kind: NodeFail, Node: 0}); err != nil {
 		t.Fatal(err)
 	}
-	res, err := c.Run([]workload.Job{testJob(t, 50)}, fullSpeedScheduler{})
+	res, err := c.Run([]workload.Job{testJob(t, 50)}, &fullSpeedScheduler{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -152,7 +152,7 @@ func TestFailKillsAndReprocesses(t *testing.T) {
 	// executor's reprocessing share, so it finishes later than an untouched
 	// run would.
 	c2 := New(cfg)
-	base, err := c2.Run([]workload.Job{testJob(t, 50)}, fullSpeedScheduler{})
+	base, err := c2.Run([]workload.Job{testJob(t, 50)}, &fullSpeedScheduler{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -175,7 +175,7 @@ func TestJoinAddsCapacity(t *testing.T) {
 				t.Fatal(err)
 			}
 		}
-		res, err := c.Run(jobs, fullSpeedScheduler{})
+		res, err := c.Run(jobs, &fullSpeedScheduler{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -200,7 +200,7 @@ func TestNodeEventValidation(t *testing.T) {
 		t.Fatalf("deferred target validation should accept unknown node at schedule time: %v", err)
 	}
 	// ...but the run must fail when the event fires against a missing node.
-	_, err := c.Run([]workload.Job{testJob(t, 5)}, fullSpeedScheduler{})
+	_, err := c.Run([]workload.Job{testJob(t, 5)}, &fullSpeedScheduler{})
 	if err == nil {
 		t.Error("run succeeded despite a fail event targeting a nonexistent node")
 	}

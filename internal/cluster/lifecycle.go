@@ -149,8 +149,10 @@ func (c *Cluster) applyNodeEvents() error {
 			if spec == (NodeSpec{}) {
 				spec = c.cfg.DefaultNodeSpec()
 			}
-			c.nodes = append(c.nodes, newNode(c.nextNodeID, spec, c.cfg, c.now))
+			n := newNode(c.nextNodeID, spec, c.cfg, c.now)
+			c.nodes = append(c.nodes, n)
 			c.nextNodeID++
+			c.markDirty(n)
 		case NodeDrain:
 			n, err := c.nodeByID(ev.Node, ev.Kind)
 			if err != nil {
@@ -236,10 +238,12 @@ func (c *Cluster) failNode(n *Node) {
 			f.done = true
 			f.DoneTime = c.now
 			f.Lost = true
+			c.doneForeign++
 		}
 	}
 	n.state = NodeFailed
 	n.StateTime = c.now
+	c.markDirty(n)
 }
 
 // nextNodeEventDt returns the time to the next scheduled lifecycle event.

@@ -1,6 +1,9 @@
 package cluster
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+)
 
 // NodeState tracks a node through its lifecycle.
 type NodeState int
@@ -57,6 +60,20 @@ type Node struct {
 	cfg    Config
 	state  NodeState
 	cpuCap float64
+
+	// dirty marks the node for the next rate recomputation pass: something
+	// that feeds its executors' rates changed (executor membership, a Grow,
+	// a foreign task arriving or finishing, a lifecycle event, a startup
+	// expiry). Clean nodes keep their previously-computed rates, which are
+	// bit-identical to what a recompute would produce. Always set via
+	// Cluster.markDirty so the node lands on the pending dirty list.
+	dirty bool
+	// wakeAt is the earliest future startup expiry among this node's
+	// executors (+Inf when none): the instant an executor's rate flips from
+	// zero to positive with no membership change, so the node must be
+	// re-dirtied even though nothing touched it. Maintained together with
+	// the cluster's wake heap; see eventindex.go for the invariant.
+	wakeAt float64
 }
 
 // newNode builds a node with its CPU capacity normalised against the
@@ -66,6 +83,7 @@ func newNode(id int, spec NodeSpec, cfg Config, joinTime float64) *Node {
 		ID: id, Spec: spec, cfg: cfg,
 		JoinTime: joinTime, StateTime: joinTime,
 		cpuCap: float64(spec.Cores) / float64(cfg.baselineCores()),
+		wakeAt: math.Inf(1),
 	}
 }
 
@@ -106,7 +124,12 @@ func (n *Node) ReservedGB() float64 {
 	return s
 }
 
-// ActualGB sums true memory use.
+// ActualGB sums true memory use. Note the long-standing modeling quirk: a
+// completed foreign task releases its CPU demand (CPUDemand checks done)
+// but its working set stays resident for the rest of the run — only node
+// failure clears it. The dirty-rate bookkeeping relies on this (a foreign
+// completion changes CPU terms but not ActualGB), so changing it means
+// re-capturing goldens; see the ROADMAP follow-on.
 func (n *Node) ActualGB() float64 {
 	var s float64
 	for _, e := range n.Executors {

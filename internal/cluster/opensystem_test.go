@@ -12,6 +12,7 @@ import (
 type prepTimeScheduler struct {
 	prepAt map[int]float64
 	plan   ProfilePlan
+	full   fullSpeedScheduler
 }
 
 func (s *prepTimeScheduler) Name() string { return "test-preptime" }
@@ -22,7 +23,7 @@ func (s *prepTimeScheduler) Prepare(c *Cluster, app *App) ProfilePlan {
 	s.prepAt[app.ID] = c.Now()
 	return s.plan
 }
-func (s *prepTimeScheduler) Schedule(c *Cluster) { fullSpeedScheduler{}.Schedule(c) }
+func (s *prepTimeScheduler) Schedule(c *Cluster) { s.full.Schedule(c) }
 
 func openJobs(t *testing.T) (workload.Job, workload.Job) {
 	t.Helper()
@@ -129,6 +130,7 @@ func TestRunOpenProfilingDelayedToArrival(t *testing.T) {
 // Prepare fired.
 type batchSizeScheduler struct {
 	sizes []int
+	full  fullSpeedScheduler
 }
 
 func (s *batchSizeScheduler) Name() string { return "test-batchsize" }
@@ -136,7 +138,7 @@ func (s *batchSizeScheduler) Prepare(c *Cluster, _ *App) ProfilePlan {
 	s.sizes = append(s.sizes, len(c.Apps()))
 	return ProfilePlan{}
 }
-func (s *batchSizeScheduler) Schedule(c *Cluster) { fullSpeedScheduler{}.Schedule(c) }
+func (s *batchSizeScheduler) Schedule(c *Cluster) { s.full.Schedule(c) }
 
 func TestPrepareSeesWholeSimultaneousBatch(t *testing.T) {
 	// Pre-refactor closed-batch semantics: every app of a batch is

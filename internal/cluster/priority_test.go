@@ -26,7 +26,7 @@ func TestWeightedAdmissionOrder(t *testing.T) {
 		{At: 0, Job: testJob(t, 10), Class: batchClass},
 		{At: 0, Job: testJob(t, 10), Class: latencyClass},
 	}
-	res, err := c.RunOpen(subs, fullSpeedScheduler{})
+	res, err := c.RunOpen(subs, &fullSpeedScheduler{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -51,7 +51,7 @@ func TestUntaggedSubmissionsKeepFCFS(t *testing.T) {
 		{At: 0, Job: testJob(t, 10)},
 		{At: 0, Job: testJob(t, 5)},
 	}
-	res, err := c.RunOpen(subs, fullSpeedScheduler{})
+	res, err := c.RunOpen(subs, &fullSpeedScheduler{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -304,7 +304,7 @@ func TestDrainThenLaterEventCompletes(t *testing.T) {
 	if _, err := c.AddForeign(1, "parsec-ferret", 0.4, 2, 11_000); err != nil {
 		t.Fatal(err)
 	}
-	res, err := c.Run([]workload.Job{testJob(t, 20)}, fullSpeedScheduler{})
+	res, err := c.Run([]workload.Job{testJob(t, 20)}, &fullSpeedScheduler{})
 	if err != nil {
 		t.Fatalf("run aborted by a fail event against the decommissioned node: %v", err)
 	}
@@ -349,7 +349,7 @@ func TestDrainDecommissionWaitsForForeign(t *testing.T) {
 	); err != nil {
 		t.Fatal(err)
 	}
-	res, err := c.Run([]workload.Job{testJob(t, 20)}, fullSpeedScheduler{})
+	res, err := c.Run([]workload.Job{testJob(t, 20)}, &fullSpeedScheduler{})
 	if err != nil {
 		t.Fatal(err)
 	}

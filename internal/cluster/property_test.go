@@ -174,6 +174,173 @@ func TestMakespanMonotoneInWorkProperty(t *testing.T) {
 	}
 }
 
+// diffScheduler drives the differential engine test through every hot path:
+// profiling plans for larger jobs, greedy bounded-reservation placement,
+// deliberate under-reservation (heap pressure), a mid-run oversized foreign
+// "hog" that overflows a busy node past RAM+swap (admission charged the
+// executors before the hog existed, so the OOM-kill and blacklist paths
+// fire) and — for classed runs — preemption on behalf of starved
+// high-weight arrivals.
+type diffScheduler struct {
+	preempt  bool
+	hog      bool
+	hogAdded bool
+	waitBuf  []*App
+}
+
+func (s *diffScheduler) Name() string { return "test-differential" }
+func (s *diffScheduler) Prepare(c *Cluster, a *App) ProfilePlan {
+	if a.Job.InputGB >= 10 {
+		return ContributingProfile(a.Job.InputGB * 0.04)
+	}
+	return ProfilePlan{}
+}
+func (s *diffScheduler) Schedule(c *Cluster) {
+	if s.hog && !s.hogAdded && c.Now() > 50 {
+		for _, app := range c.ActiveApps() {
+			if len(app.Executors) > 0 {
+				n := app.Executors[0].Node
+				over := n.Spec.UsableGB() + n.Spec.SwapGB - n.ActualGB() + 5
+				if _, err := c.AddForeign(n.ID, "hog", 0.3, over, 200); err == nil {
+					s.hogAdded = true
+				}
+				break
+			}
+		}
+	}
+	s.waitBuf = c.AppendWaitingApps(s.waitBuf[:0])
+	for _, app := range s.waitBuf {
+		if s.preempt && app.Class.Weight >= 2 && len(app.Executors) == 0 {
+			c.PreemptFor(app, 25, app.Job.Bench.CPULoad, 0)
+		}
+		for _, n := range c.Nodes() {
+			if len(app.Executors) >= app.MaxExecutors {
+				break
+			}
+			if !n.Available() || app.ExecutorOn(n) || (app.BlockedOn(n) && len(n.Executors) > 0) {
+				continue
+			}
+			free := n.FreeGB()
+			if free < 5 {
+				continue
+			}
+			share := app.RemainingGB / float64(app.MaxExecutors-len(app.Executors))
+			reserve := free / 2
+			if reserve > 30 {
+				reserve = 30
+			}
+			if app.ID%5 == 3 {
+				// Under-reserve every fifth app: heap-pressure rates, and —
+				// together with oversized foreign working sets — OOM kills.
+				reserve = free / 6
+			}
+			_, _ = c.Spawn(app, n, reserve, share)
+		}
+	}
+}
+
+// TestIndexedEngineMatchesScanReference is the differential property test
+// for the event index: on seeded randomized workloads — mixed fleets, node
+// events, tenant classes, preemption, foreign tasks, profiling, traces — it
+// installs the engine's per-event hook and replays the preserved scan-based
+// reference paths (engine_ref.go) against the indexed engine's state on
+// every event, requiring exact (==, not approximate) agreement of the
+// profiling share, the chosen event dt, the completion check, the waiting
+// set and every stored rate.
+func TestIndexedEngineMatchesScanReference(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		nodeCount := 6 + r.Intn(12)
+		var fleet []workload.NodeClass
+		var err error
+		switch r.Intn(3) {
+		case 0:
+			fleet, err = workload.UniformFleet(nodeCount, workload.PaperNode())
+		case 1:
+			fleet, err = workload.BimodalFleet(nodeCount, workload.BigNode(), workload.LittleNode(), 0.4, r)
+		default:
+			fleet, err = workload.StragglerFleet(nodeCount, workload.PaperNode(), 0.3, 0.4, r)
+		}
+		if err != nil {
+			t.Fatalf("seed %d: fleet: %v", seed, err)
+		}
+		arrivals, err := workload.PoissonArrivals(15+r.Intn(25), 0.01+0.02*r.Float64(), r)
+		if err != nil {
+			t.Fatalf("seed %d: arrivals: %v", seed, err)
+		}
+		classed := r.Intn(2) == 0
+		if classed {
+			if arrivals, err = workload.TagArrivals(arrivals, workload.LatencyBatchMix(0.3), r); err != nil {
+				t.Fatalf("seed %d: classes: %v", seed, err)
+			}
+		}
+		cfg := DefaultConfig()
+		if r.Intn(2) == 0 {
+			cfg.TraceInterval = 40
+		}
+		c, err := NewHetero(cfg, SpecsFrom(fleet))
+		if err != nil {
+			t.Fatalf("seed %d: cluster: %v", seed, err)
+		}
+		if r.Intn(2) == 0 {
+			span := arrivals[len(arrivals)-1].At
+			storm, err := StormEvents(nodeCount, 1, 1, span*0.1, span*0.8+1, 25, r)
+			if err != nil {
+				t.Fatalf("seed %d: storm: %v", seed, err)
+			}
+			if err := c.ScheduleNodeEvents(storm...); err != nil {
+				t.Fatalf("seed %d: node events: %v", seed, err)
+			}
+		}
+		for i, fn := 0, r.Intn(3); i < fn; i++ {
+			// Oversized working sets bypass admission control, forcing the
+			// OOM-kill and blacklist paths on co-located executors.
+			if _, err := c.AddForeign(r.Intn(nodeCount), "co-runner", 0.2+0.5*r.Float64(), 10+25*r.Float64(), 400+600*r.Float64()); err != nil {
+				t.Fatalf("seed %d: foreign: %v", seed, err)
+			}
+		}
+		events := 0
+		c.checkEvent = func(share, dt float64, ok bool) {
+			events++
+			if ref := c.refProfilingShare(); share != ref {
+				t.Fatalf("seed %d event %d: profiling share %v, reference %v", seed, events, share, ref)
+			}
+			refDt, refOK := c.refNextEventDt(share)
+			if ok != refOK || (ok && dt != refDt) {
+				t.Fatalf("seed %d event %d: next event dt (%v,%v), reference (%v,%v)", seed, events, dt, ok, refDt, refOK)
+			}
+			if diff := c.refCheckRates(); diff != "" {
+				t.Fatalf("seed %d event %d: %s", seed, events, diff)
+			}
+			if got, ref := c.allDone(), c.refAllDone(); got != ref {
+				t.Fatalf("seed %d event %d: allDone %v, reference %v", seed, events, got, ref)
+			}
+			got := c.AppendWaitingApps(nil)
+			ref := c.refWaitingApps()
+			if len(got) != len(ref) {
+				t.Fatalf("seed %d event %d: waiting set size %d, reference %d", seed, events, len(got), len(ref))
+			}
+			for i := range got {
+				if got[i] != ref[i] {
+					t.Fatalf("seed %d event %d: waiting[%d] = app %d, reference app %d", seed, events, i, got[i].ID, ref[i].ID)
+				}
+			}
+		}
+		res, err := c.RunOpen(Submissions(arrivals), &diffScheduler{preempt: classed, hog: seed%3 == 0})
+		if err != nil {
+			t.Fatalf("seed %d: run: %v", seed, err)
+		}
+		if events == 0 {
+			t.Fatalf("seed %d: differential hook never fired", seed)
+		}
+		for _, a := range res.Apps {
+			if a.State != StateDone {
+				t.Fatalf("seed %d: app %d finished in state %v", seed, a.ID, a.State)
+			}
+		}
+	}
+}
+
 func TestGrowValidation(t *testing.T) {
 	c := New(DefaultConfig())
 	b, err := workload.Find("SP.Pca")

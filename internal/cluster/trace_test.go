@@ -121,7 +121,7 @@ func TestTraceThroughEngineWithChurn(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := c.RunOpen(Submissions(arrivals), fullSpeedScheduler{})
+	res, err := c.RunOpen(Submissions(arrivals), &fullSpeedScheduler{})
 	if err != nil {
 		t.Fatal(err)
 	}

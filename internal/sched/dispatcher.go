@@ -73,9 +73,10 @@ func (d *Dispatcher) Schedule(c *cluster.Cluster) {
 	// Third pass: dynamically adjust the data allocation of running
 	// executors as memory frees up (Section 4.3: "the number of data items
 	// to give to the co-located executor is dynamically adjusted over
-	// time").
+	// time"). Only the active set can contain running apps, so the walk
+	// stays proportional to in-flight work on long arrival streams.
 	if d.Est != nil {
-		for _, app := range c.Apps() {
+		for _, app := range c.ActiveApps() {
 			if app.State == cluster.StateRunning {
 				d.growExecutors(c, app)
 			}
@@ -126,13 +127,12 @@ func (d *Dispatcher) growExecutors(c *cluster.Cluster, app *cluster.App) {
 
 // scheduleSerial runs the FCFS head exclusively: executors get whole nodes
 // with all their memory, and no other application starts until it finishes.
+// The active set is FCFS-ordered and holds exactly the non-done apps, so its
+// first entry is the head the full scan used to find.
 func (d *Dispatcher) scheduleSerial(c *cluster.Cluster) {
 	var head *cluster.App
-	for _, a := range c.Apps() {
-		if a.State != cluster.StateDone {
-			head = a
-			break
-		}
+	if active := c.ActiveApps(); len(active) > 0 {
+		head = active[0]
 	}
 	if head == nil || (head.State != cluster.StateReady && head.State != cluster.StateRunning) {
 		return
