@@ -28,6 +28,15 @@
 //	moeschedsim -policy moe -arrivals poisson -rate 300 -classes latency-batch -preempt
 //	moeschedsim -policy moe -arrivals poisson -classes "prod:4:0.2:cap30,ad-hoc:2:0.3,batch:1:0.5:preempt"
 //
+// Non-stationary workloads and the online prediction pipeline: -drift
+// replays a drifting stream (gradual input growth with signature drift, or
+// regime switches between clean and post-upgrade mixes) and -adapt switches
+// the MoE scheme to the feedback-driven predictor that recalibrates from
+// the engine's completion/OOM observations:
+//
+//	moeschedsim -policy moe -drift growth -rate 60 -apps 60
+//	moeschedsim -policy moe -adapt -drift regimes -rate 90 -apps 60
+//
 // -json emits the scenario and queueing results as a single JSON object for
 // machine consumption.
 package main
@@ -42,6 +51,7 @@ import (
 	"strings"
 
 	"moespark/internal/cluster"
+	"moespark/internal/experiments"
 	"moespark/internal/memfunc"
 	"moespark/internal/metrics"
 	"moespark/internal/moe"
@@ -49,8 +59,11 @@ import (
 	"moespark/internal/workload"
 )
 
-func buildPolicy(name, placer string, seed int64) (*sched.Dispatcher, error) {
+func buildPolicy(name, placer string, seed int64, adapt bool) (*sched.Dispatcher, error) {
 	rng := rand.New(rand.NewSource(seed))
+	if adapt && name != "moe" {
+		return nil, fmt.Errorf("-adapt selects the feedback-driven MoE pipeline and needs -policy moe, got %q", name)
+	}
 	var d *sched.Dispatcher
 	var err error
 	switch name {
@@ -68,7 +81,11 @@ func buildPolicy(name, placer string, seed int64) (*sched.Dispatcher, error) {
 		if err != nil {
 			return nil, fmt.Errorf("training MoE model: %w", err)
 		}
-		d = sched.NewMoE(model, rng)
+		if adapt {
+			d = sched.NewAdaptiveMoE(model, moe.AdaptiveConfig{}, rng)
+		} else {
+			d = sched.NewMoE(model, rng)
+		}
 	case "quasar":
 		var q *sched.QuasarModel
 		q, err = sched.TrainQuasar(workload.TrainingSet(), rand.New(rand.NewSource(seed+2)))
@@ -222,6 +239,27 @@ func parseClasses(s string) ([]workload.ClassShare, error) {
 	return mix, nil
 }
 
+// buildDriftArrivals generates the non-stationary stream for -drift, with
+// the drift study's own workload shape (the constants are shared with
+// internal/experiments so the CLI and `reproduce -exp drift` never desync):
+// growth ramps ~2 GB inputs by 50x while the log-family cohort's counters
+// drift onto the saturating cluster; regimes switch between the clean
+// catalogue and the skewed cohort every few jobs.
+func buildDriftArrivals(kind string, apps int, ratePerHour float64, seed int64) ([]workload.Arrival, error) {
+	rng := rand.New(rand.NewSource(seed))
+	ratePerSec := ratePerHour / 3600
+	switch kind {
+	case "growth":
+		return workload.GrowthArrivals(apps, ratePerSec,
+			experiments.DriftGrowthStartGB, experiments.DriftGrowthFactor, experiments.DriftSkew, rng)
+	case "regimes":
+		return workload.RegimeArrivals(apps, ratePerSec,
+			experiments.DriftRegimePeriod, experiments.DriftSkew, rng)
+	default:
+		return nil, fmt.Errorf("unknown drift workload %q (growth|regimes)", kind)
+	}
+}
+
 // buildArrivals generates the open-system submission stream for -arrivals.
 func buildArrivals(kind string, apps int, ratePerHour, burstLen, idleSec, periodSec float64, seed int64) ([]workload.Arrival, error) {
 	rng := rand.New(rand.NewSource(seed))
@@ -255,8 +293,11 @@ type jsonApp struct {
 	IsolatedSec   float64 `json:"isolatedSec"`
 	WaitSec       float64 `json:"waitSec"`
 	TurnaroundSec float64 `json:"turnaroundSec"`
-	OOMKills      int     `json:"oomKills"`
-	PreemptKills  int     `json:"preemptKills,omitempty"`
+	// PredictedGB is the policy's fair-share footprint prediction recorded
+	// at Prepare time (absent when the policy made no prediction).
+	PredictedGB  float64 `json:"predictedGB,omitempty"`
+	OOMKills     int     `json:"oomKills"`
+	PreemptKills int     `json:"preemptKills,omitempty"`
 }
 
 // jsonOutput is the machine-readable result of one run.
@@ -299,6 +340,8 @@ func main() {
 		nodes      = flag.Int("nodes", 40, "initial fleet size")
 		nodeEvents = flag.String("node-events", "", "timed lifecycle events, e.g. drain@600:3,fail@900:7,join@1200")
 		arrivals   = flag.String("arrivals", "", "open-system arrival process: poisson|bursty|diurnal (empty = closed batch)")
+		drift      = flag.String("drift", "", "non-stationary open-system workload: growth|regimes (incompatible with -arrivals)")
+		adapt      = flag.Bool("adapt", false, "use the feedback-driven adaptive MoE pipeline (requires -policy moe)")
 		rate       = flag.Float64("rate", 60, "mean arrival rate in jobs/hour (open-system mode)")
 		apps       = flag.Int("apps", 30, "stream length in jobs (open-system mode)")
 		burstLen   = flag.Float64("burst", 5, "mean jobs per burst (bursty arrivals)")
@@ -320,9 +363,12 @@ func main() {
 
 	// Validate flag combinations up front so failures never follow partial
 	// output.
-	open := *arrivals != ""
+	if *arrivals != "" && *drift != "" {
+		fail(fmt.Errorf("-drift generates its own arrival stream; drop -arrivals"))
+	}
+	open := *arrivals != "" || *drift != ""
 	if *table4 && open {
-		fail(fmt.Errorf("-table4 is a closed-batch mix and is incompatible with -arrivals"))
+		fail(fmt.Errorf("-table4 is a closed-batch mix and is incompatible with -arrivals/-drift"))
 	}
 	if *jsonOut && *verbose {
 		fail(fmt.Errorf("-json already includes per-application records; drop -verbose"))
@@ -351,7 +397,7 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	d, err := buildPolicy(*policy, *placer, *seed)
+	d, err := buildPolicy(*policy, *placer, *seed, *adapt)
 	if err != nil {
 		fail(err)
 	}
@@ -378,7 +424,12 @@ func main() {
 	var res *cluster.Result
 	var jobs []workload.Job
 	if open {
-		stream, err := buildArrivals(*arrivals, *apps, *rate, *burstLen, *idleSec, *period, *seed)
+		var stream []workload.Arrival
+		if *drift != "" {
+			stream, err = buildDriftArrivals(*drift, *apps, *rate, *seed)
+		} else {
+			stream, err = buildArrivals(*arrivals, *apps, *rate, *burstLen, *idleSec, *period, *seed)
+		}
 		if err != nil {
 			fail(err)
 		}
@@ -437,6 +488,9 @@ func main() {
 		}
 		if open {
 			out.Arrivals = *arrivals
+			if *drift != "" {
+				out.Arrivals = "drift-" + *drift
+			}
 			out.RatePerHour = *rate
 			out.Queueing = &q
 			if mix != nil {
@@ -456,7 +510,8 @@ func main() {
 				ID: a.ID, Application: a.Job.String(), Class: a.Class.Name,
 				SubmitSec: a.SubmitTime, IsolatedSec: c.IsolatedTime(a.Job),
 				WaitSec: a.WaitSec(), TurnaroundSec: a.Turnaround(),
-				OOMKills: a.OOMKills, PreemptKills: a.PreemptKills,
+				PredictedGB: a.PredictedGB,
+				OOMKills:    a.OOMKills, PreemptKills: a.PreemptKills,
 			})
 		}
 		enc := json.NewEncoder(os.Stdout)
@@ -483,7 +538,11 @@ func main() {
 		// t=0; under timed arrivals the makespan is dominated by the arrival
 		// span, so the baseline comparison would mislead. The queueing
 		// metrics below are the open-system figures of merit.
-		fmt.Printf("arrivals      %s, %.0f jobs/hour configured\n", *arrivals, *rate)
+		kind := *arrivals
+		if *drift != "" {
+			kind = "drift-" + *drift
+		}
+		fmt.Printf("arrivals      %s, %.0f jobs/hour configured\n", kind, *rate)
 		fmt.Printf("makespan      %.1f min\n", run.MakespanSec/60)
 	} else {
 		base := metrics.SerialBaseline(c, jobs)
@@ -531,11 +590,15 @@ func main() {
 
 	if *verbose {
 		fmt.Println()
-		fmt.Printf("%-4s %-28s %10s %10s %10s %10s %8s\n", "id", "application", "submit(s)", "cis(s)", "wait(s)", "turn(s)", "stp")
+		fmt.Printf("%-4s %-28s %10s %10s %10s %10s %8s %9s\n", "id", "application", "submit(s)", "cis(s)", "wait(s)", "turn(s)", "stp", "pred(GB)")
 		for _, a := range res.Apps {
 			cis := c.IsolatedTime(a.Job)
-			fmt.Printf("%-4d %-28s %10.0f %10.0f %10.0f %10.0f %8.2f\n",
-				a.ID, a.Job.String(), a.SubmitTime, cis, a.WaitSec(), a.Turnaround(), cis/a.Turnaround())
+			pred := "-"
+			if a.PredictedGB > 0 {
+				pred = fmt.Sprintf("%.1f", a.PredictedGB)
+			}
+			fmt.Printf("%-4d %-28s %10.0f %10.0f %10.0f %10.0f %8.2f %9s\n",
+				a.ID, a.Job.String(), a.SubmitTime, cis, a.WaitSec(), a.Turnaround(), cis/a.Turnaround(), pred)
 		}
 	}
 }

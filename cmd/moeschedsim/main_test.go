@@ -114,13 +114,50 @@ func TestParseClasses(t *testing.T) {
 }
 
 func TestBuildPolicyPlacers(t *testing.T) {
-	if _, err := buildPolicy("oracle", "speed", 1); err != nil {
+	if _, err := buildPolicy("oracle", "speed", 1, false); err != nil {
 		t.Errorf("speed placer rejected: %v", err)
 	}
-	if _, err := buildPolicy("oracle", "warp", 1); err == nil {
+	if _, err := buildPolicy("oracle", "warp", 1, false); err == nil {
 		t.Error("unknown placer accepted")
 	}
-	if _, err := buildPolicy("telepathy", "", 1); err == nil {
+	if _, err := buildPolicy("telepathy", "", 1, false); err == nil {
 		t.Error("unknown policy accepted")
+	}
+}
+
+func TestBuildDriftArrivals(t *testing.T) {
+	for _, kind := range []string{"growth", "regimes"} {
+		stream, err := buildDriftArrivals(kind, 20, 60, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if len(stream) != 20 {
+			t.Errorf("%s: %d arrivals, want 20", kind, len(stream))
+		}
+		again, err := buildDriftArrivals(kind, 20, 60, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range stream {
+			if stream[i].At != again[i].At || stream[i].Job.InputGB != again[i].Job.InputGB {
+				t.Errorf("%s: arrival %d not reproducible", kind, i)
+			}
+		}
+	}
+	if _, err := buildDriftArrivals("bogus", 10, 60, 1); err == nil {
+		t.Error("unknown drift workload accepted")
+	}
+}
+
+func TestBuildPolicyAdapt(t *testing.T) {
+	d, err := buildPolicy("moe", "firstfit", 1, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Name() != "MoE-adaptive" {
+		t.Errorf("adaptive policy named %q", d.Name())
+	}
+	if _, err := buildPolicy("pairwise", "firstfit", 1, true); err == nil {
+		t.Error("-adapt with a non-MoE policy must be rejected")
 	}
 }

@@ -10,7 +10,8 @@
 // fig15 fig16 fig17 fig18 table5 opensys (the open-system queueing study,
 // beyond the paper) hetero (heterogeneous fleets and node churn, beyond the
 // paper) tenants (multi-tenant priority classes with preemption, beyond the
-// paper).
+// paper) drift (static vs adaptive MoE under non-stationary workloads,
+// beyond the paper).
 package main
 
 import (
@@ -111,6 +112,13 @@ func runners() []runner {
 		}},
 		{"tenants", func(ctx experiments.Context) ([]experiments.Table, error) {
 			r, err := experiments.Tenants(ctx)
+			if err != nil {
+				return nil, err
+			}
+			return r.Tables(), nil
+		}},
+		{"drift", func(ctx experiments.Context) ([]experiments.Table, error) {
+			r, err := experiments.Drift(ctx)
 			if err != nil {
 				return nil, err
 			}

@@ -48,6 +48,17 @@ func (k *KNN) Fit(samples []Sample) error {
 	return nil
 }
 
+// Clone returns an independent copy of the classifier: mutations of either
+// copy's training set (Add) never affect the other. Adaptive gates clone
+// their selector before self-training so a shared trained model stays
+// immutable.
+func (k *KNN) Clone() *KNN {
+	cp := *k
+	cp.samples = make([]Sample, len(k.samples))
+	copy(cp.samples, k.samples)
+	return &cp
+}
+
 // Add inserts one more labelled sample without refitting anything else.
 func (k *KNN) Add(s Sample) error {
 	if !k.fitted {
@@ -69,6 +80,21 @@ func (k *KNN) Predict(x []float64) (int, error) {
 // PredictWithDistance returns the majority label among the K nearest
 // neighbours and the Euclidean distance to the single nearest one.
 func (k *KNN) PredictWithDistance(x []float64) (label int, nearest float64, err error) {
+	return k.predict(x, nil)
+}
+
+// PredictBiased is PredictWithDistance with per-label distance scaling, the
+// online-gate hook of an adaptive mixture: each neighbour's distance is
+// multiplied by bias(label) before ranking, so a label whose recent
+// predictions have been poor (bias > 1) must be proportionally closer in
+// feature space to win the vote. bias must return positive finite values; a
+// nil bias reproduces PredictWithDistance exactly. The returned distance is
+// the biased distance of the nearest neighbour under the scaling.
+func (k *KNN) PredictBiased(x []float64, bias func(label int) float64) (label int, nearest float64, err error) {
+	return k.predict(x, bias)
+}
+
+func (k *KNN) predict(x []float64, bias func(label int) float64) (label int, nearest float64, err error) {
 	if !k.fitted {
 		return 0, 0, ErrNotFitted
 	}
@@ -81,7 +107,11 @@ func (k *KNN) PredictWithDistance(x []float64) (label int, nearest float64, err 
 	}
 	neighs := make([]neigh, len(k.samples))
 	for i, s := range k.samples {
-		neighs[i] = neigh{dist: mathx.Euclidean(x, s.X), label: s.Label}
+		d := mathx.Euclidean(x, s.X)
+		if bias != nil {
+			d *= bias(s.Label)
+		}
+		neighs[i] = neigh{dist: d, label: s.Label}
 	}
 	sort.SliceStable(neighs, func(a, b int) bool { return neighs[a].dist < neighs[b].dist })
 	kk := k.K

@@ -1,0 +1,64 @@
+package classify
+
+// LabelErrorWindow tracks a sliding window of the most recent error
+// observations per label. It is the online-update state behind a reweighted
+// gate: an expert selector records each expert's recent prediction error
+// here and biases its choice away from labels whose window mean is high.
+// Old observations age out of the fixed-size window, so the gate reacts to
+// the current regime instead of averaging over all history.
+type LabelErrorWindow struct {
+	size int
+	wins map[int]*ringWindow
+}
+
+// ringWindow is one label's fixed-capacity ring buffer with a running sum.
+type ringWindow struct {
+	vals []float64
+	pos  int
+	n    int
+	sum  float64
+}
+
+// NewLabelErrorWindow returns an empty window holding the last size
+// observations per label (size must be positive).
+func NewLabelErrorWindow(size int) *LabelErrorWindow {
+	if size <= 0 {
+		size = 1
+	}
+	return &LabelErrorWindow{size: size, wins: map[int]*ringWindow{}}
+}
+
+// Add records one error observation for the label, evicting the oldest when
+// the label's window is full.
+func (w *LabelErrorWindow) Add(label int, err float64) {
+	r := w.wins[label]
+	if r == nil {
+		r = &ringWindow{vals: make([]float64, w.size)}
+		w.wins[label] = r
+	}
+	if r.n == w.size {
+		r.sum -= r.vals[r.pos]
+	} else {
+		r.n++
+	}
+	r.vals[r.pos] = err
+	r.sum += err
+	r.pos = (r.pos + 1) % w.size
+}
+
+// Count returns how many observations the label's window currently holds.
+func (w *LabelErrorWindow) Count(label int) int {
+	if r := w.wins[label]; r != nil {
+		return r.n
+	}
+	return 0
+}
+
+// Mean returns the mean error over the label's window, or 0 when empty.
+func (w *LabelErrorWindow) Mean(label int) float64 {
+	r := w.wins[label]
+	if r == nil || r.n == 0 {
+		return 0
+	}
+	return r.sum / float64(r.n)
+}

@@ -1,0 +1,83 @@
+package classify
+
+import (
+	"math"
+	"testing"
+)
+
+func TestLabelErrorWindowSlides(t *testing.T) {
+	w := NewLabelErrorWindow(3)
+	if w.Count(1) != 0 || w.Mean(1) != 0 {
+		t.Fatal("empty window must report zero count and mean")
+	}
+	w.Add(1, 1)
+	w.Add(1, 2)
+	w.Add(1, 3)
+	if w.Count(1) != 3 || math.Abs(w.Mean(1)-2) > 1e-12 {
+		t.Fatalf("full window: count %d mean %v", w.Count(1), w.Mean(1))
+	}
+	// The oldest (1) ages out.
+	w.Add(1, 6)
+	if w.Count(1) != 3 || math.Abs(w.Mean(1)-(2+3+6)/3.0) > 1e-12 {
+		t.Fatalf("slid window: count %d mean %v", w.Count(1), w.Mean(1))
+	}
+	// Labels are independent.
+	w.Add(2, 10)
+	if w.Count(2) != 1 || w.Mean(2) != 10 || w.Count(1) != 3 {
+		t.Fatal("labels must not share windows")
+	}
+}
+
+func TestKNNPredictBiased(t *testing.T) {
+	k := NewKNN(1)
+	err := k.Fit([]Sample{
+		{X: []float64{0}, Label: 0},
+		{X: []float64{1}, Label: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 0.45 sits nearer label 0; nil bias keeps the plain prediction.
+	label, _, err := k.PredictBiased([]float64{0.45}, nil)
+	if err != nil || label != 0 {
+		t.Fatalf("nil bias: label %d err %v, want 0", label, err)
+	}
+	// A modest penalty on label 0 flips the near-tie to label 1...
+	penal := func(l int) float64 {
+		if l == 0 {
+			return 1.5
+		}
+		return 1
+	}
+	label, _, err = k.PredictBiased([]float64{0.45}, penal)
+	if err != nil || label != 1 {
+		t.Fatalf("biased near-tie: label %d err %v, want 1", label, err)
+	}
+	// ...but cannot flip a target sitting on label 0's sample.
+	label, _, err = k.PredictBiased([]float64{0.05}, penal)
+	if err != nil || label != 0 {
+		t.Fatalf("biased far case: label %d err %v, want 0", label, err)
+	}
+}
+
+func TestKNNCloneIsIndependent(t *testing.T) {
+	k := NewKNN(1)
+	if err := k.Fit([]Sample{
+		{X: []float64{0}, Label: 0},
+		{X: []float64{1}, Label: 1},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	cp := k.Clone()
+	if err := cp.Add(Sample{X: []float64{0.4}, Label: 1}); err != nil {
+		t.Fatal(err)
+	}
+	orig, err := k.Predict([]float64{0.45})
+	if err != nil || orig != 0 {
+		t.Fatalf("original changed by clone's Add: label %d err %v", orig, err)
+	}
+	cloned, err := cp.Predict([]float64{0.45})
+	if err != nil || cloned != 1 {
+		t.Fatalf("clone did not learn its own sample: label %d err %v", cloned, err)
+	}
+}

@@ -85,6 +85,14 @@ type App struct {
 	// State is the current lifecycle state.
 	State AppState
 
+	// PredictedGB is the policy's predicted executor footprint for this
+	// app's fair-share allocation, recorded at Prepare time by predicting
+	// estimators (0 = no prediction installed). The engine never reads it;
+	// it is a reporting field (moeschedsim's JSON/verbose output) — the
+	// observation hooks compare the per-executor Executor.PredictedGB,
+	// which tracks the allocation actually granted.
+	PredictedGB float64
+
 	// blockedNodes lists nodes where an executor of this app was OOM-killed;
 	// the app is not rescheduled there (the paper re-runs OOM victims
 	// elsewhere, in isolation).
@@ -177,6 +185,11 @@ type Executor struct {
 	FairShareGB float64
 	// SpawnTime records when the executor started.
 	SpawnTime float64
+	// PredictedGB is the footprint the placing policy predicted for
+	// ItemsGB (0 = the policy had no prediction). The engine never reads
+	// it; the dispatcher stamps it at spawn/grow time and the observation
+	// hook reports it against NeedGB once the outcome is known.
+	PredictedGB float64
 
 	// rate is the current processing rate (GB/s), recomputed between
 	// events.

@@ -86,6 +86,19 @@ type Config struct {
 	// StartupSec is the application/executor launch latency (driver start,
 	// JVM spin-up, YARN container allocation) before processing begins.
 	StartupSec float64
+	// ReleaseForeignMem, when set, frees a completed foreign task's working
+	// set: its MemoryGB leaves the node's reserved and actual memory the
+	// moment the task finishes, so a node stops paying paging/OOM pressure
+	// for co-runners that are gone. Default off: the historical engine keeps
+	// foreign working sets resident forever (the documented quirk in
+	// node.go), and existing goldens depend on those rates bit-for-bit.
+	ReleaseForeignMem bool
+	// FleetAwareSizing, when set, sizes each application's executor fleet
+	// from the specs of nodes actually free at admission instead of assuming
+	// ExecutorSpreadGB-per-reference-node (see Cluster.fleetFor). Default
+	// off: the reference formula NodesFor is the historical behaviour and
+	// existing goldens depend on it.
+	FleetAwareSizing bool
 	// TraceInterval, when positive, samples per-node utilization every so
 	// many simulated seconds (Figure 7).
 	TraceInterval float64

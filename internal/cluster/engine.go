@@ -24,6 +24,33 @@ func ContributingProfile(gb float64) ProfilePlan {
 	return ProfilePlan{VolumeGB: gb, ContributesGB: gb}
 }
 
+// ExecOutcome classifies how an executor's true footprint became known to
+// the engine.
+type ExecOutcome int
+
+// Executor observation outcomes.
+const (
+	// ExecCompleted: the executor's application completed; the footprint was
+	// realised in full.
+	ExecCompleted ExecOutcome = iota + 1
+	// ExecOOMKilled: the executor was killed for overflowing its node's
+	// RAM+swap.
+	ExecOOMKilled
+)
+
+// Observer is an optional Scheduler extension, the engine side of the online
+// prediction pipeline: when the scheduler implements it, the engine reports
+// each executor's predicted-vs-actual footprint at the exact moment the
+// outcome becomes known — application completion (before the executors are
+// released) or an OOM kill (before the victim is reclaimed). Observe runs
+// inside the event loop and must not mutate the cluster (no Spawn, Grow or
+// Preempt); it exists to feed prediction error back into adaptive models.
+// Executors complete in deterministic engine order, so observer-driven model
+// updates are reproducible.
+type Observer interface {
+	Observe(c *Cluster, e *Executor, outcome ExecOutcome)
+}
+
 // Scheduler is a co-location policy driving the simulated cluster. The
 // engine invokes Prepare once per submitted application (to plan profiling)
 // and Schedule whenever cluster state changes (submission, profiling
@@ -64,10 +91,15 @@ type Cluster struct {
 	active        []*App         // apps not yet done, submission order
 	profiling     []*App         // apps currently profiling, submission order
 	activeForeign []*ForeignTask // foreign tasks not yet done, registration order
+	draining      []*Node        // nodes in the Draining state, drain order
 	doneApps      int
 	doneForeign   int
 	dirtyNodes    []*Node
 	wakes         wakeHeap
+
+	// observer is the scheduler's optional observation hook (see Observer),
+	// resolved once per run.
+	observer Observer
 
 	// checkEvent, when set (differential property tests only), is invoked
 	// once per event-loop iteration with the profiling share and the chosen
@@ -79,6 +111,8 @@ type Cluster struct {
 	// during the feasibility scan so the kill phase never rescans the node.
 	victimBuf     []*Executor
 	bestVictimBuf []*Executor
+	// shareBuf is fleetFor scratch (per-node spread shares).
+	shareBuf []float64
 
 	totalOOM          int
 	totalFailKills    int
@@ -201,12 +235,61 @@ func (c *Cluster) AddReadyApp(job workload.Job) *App {
 		ID: len(c.apps), Job: job,
 		SubmitTime: c.now, ReadyTime: c.now, StartTime: -1, DoneTime: -1,
 		RemainingGB:  job.InputGB,
-		MaxExecutors: c.cfg.NodesFor(job.InputGB),
+		MaxExecutors: c.fleetFor(job.InputGB),
 		State:        StateReady,
 	}
 	c.apps = append(c.apps, a)
 	c.active = append(c.active, a)
 	return a
+}
+
+// fleetFor sizes an application's executor fleet at admission. The default
+// is the platform formula Config.NodesFor, which assumes every executor
+// lands on a reference-sized node — wrong on big/little fleets, where a
+// little node carries far less than ExecutorSpreadGB and a big node far
+// more. With Config.FleetAwareSizing set, the fleet is sized from the specs
+// of nodes actually free at admission: each placeable node contributes a
+// spread share proportional to its allocatable memory, and the fleet is the
+// fewest largest-first nodes whose shares cover the input (every eligible
+// node, when even that is not enough). On a uniform reference fleet with
+// enough free nodes both paths agree.
+func (c *Cluster) fleetFor(inputGB float64) int {
+	if !c.cfg.FleetAwareSizing {
+		return c.cfg.NodesFor(inputGB)
+	}
+	refAlloc := c.cfg.AllocatableGB()
+	if refAlloc <= 0 {
+		return c.cfg.NodesFor(inputGB)
+	}
+	c.shareBuf = c.shareBuf[:0]
+	for _, n := range c.nodes {
+		if !n.Available() || n.FreeGB() <= c.cfg.MinChunkGB {
+			continue
+		}
+		share := c.cfg.ExecutorSpreadGB * n.AllocatableGB() / refAlloc
+		// Insertion sort descending: fleets are small and node order breaks
+		// ties deterministically.
+		c.shareBuf = append(c.shareBuf, share)
+		for i := len(c.shareBuf) - 1; i > 0 && c.shareBuf[i] > c.shareBuf[i-1]; i-- {
+			c.shareBuf[i], c.shareBuf[i-1] = c.shareBuf[i-1], c.shareBuf[i]
+		}
+	}
+	if len(c.shareBuf) == 0 {
+		return c.cfg.NodesFor(inputGB)
+	}
+	const eps = 1e-9
+	k, covered := 0, 0.0
+	for k < len(c.shareBuf) && covered < inputGB-eps {
+		covered += c.shareBuf[k]
+		k++
+	}
+	if k > c.cfg.MaxExecutorNodes {
+		k = c.cfg.MaxExecutorNodes
+	}
+	if k < 1 {
+		k = 1
+	}
+	return k
 }
 
 // AddForeign pins a foreign co-runner task (e.g. a PARSEC benchmark) to a
@@ -445,6 +528,7 @@ func (c *Cluster) RunOpen(subs []Submission, sched Scheduler) (*Result, error) {
 			c.classed = true
 		}
 	}
+	c.observer, _ = sched.(Observer)
 	c.pending = make([]Submission, len(subs))
 	copy(c.pending, subs)
 	sort.SliceStable(c.pending, func(i, j int) bool {
@@ -503,7 +587,7 @@ func (c *Cluster) admitArrivals(sched Scheduler) (int, error) {
 			ID: len(c.apps), Job: sub.Job, Class: sub.Class,
 			SubmitTime: sub.At, ReadyTime: -1, StartTime: -1, DoneTime: -1,
 			RemainingGB:  sub.Job.InputGB,
-			MaxExecutors: c.cfg.NodesFor(sub.Job.InputGB),
+			MaxExecutors: c.fleetFor(sub.Job.InputGB),
 			State:        StateQueued,
 		}
 		c.apps = append(c.apps, a)
@@ -778,6 +862,9 @@ func (c *Cluster) enforceOOM(n *Node) {
 		victim.App.OOMKills++
 		c.totalOOM++
 		victim.App.blockNode(n)
+		if c.observer != nil {
+			c.observer.Observe(c, victim, ExecOOMKilled)
+		}
 		c.reclaimExecutor(victim)
 	}
 }
@@ -883,6 +970,14 @@ func (c *Cluster) advance(dt, share float64) {
 			a.RemainingGB -= appRate(a) * dt
 			if a.RemainingGB <= eps {
 				a.RemainingGB = 0
+				if c.observer != nil {
+					// Report realised footprints while the executors are
+					// still attached: the completion is the moment their true
+					// demand is confirmed.
+					for _, e := range a.Executors {
+						c.observer.Observe(c, e, ExecCompleted)
+					}
+				}
 				for len(a.Executors) > 0 {
 					c.removeExecutor(a.Executors[0])
 				}
@@ -924,8 +1019,10 @@ func (c *Cluster) advance(dt, share float64) {
 			f.DoneTime = c.now
 			c.doneForeign++
 			// The finished co-runner stops contending for CPU, so its node's
-			// survivors speed up. (Its working set stays resident — see the
-			// ActualGB quirk note in node.go — so memory terms don't move.)
+			// survivors speed up. (Its working set stays resident by default —
+			// see the ActualGB quirk note in node.go — or leaves the memory
+			// sums too under Config.ReleaseForeignMem; the dirty mark covers
+			// both.)
 			c.markDirty(f.Node)
 			continue
 		}

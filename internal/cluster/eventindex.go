@@ -152,8 +152,12 @@ func (c *Cluster) resetIndex() {
 		}
 	}
 	c.wakes = c.wakes[:0]
+	c.draining = c.draining[:0]
 	for _, n := range c.nodes {
 		n.wakeAt = math.Inf(1)
+		if n.state == NodeDraining {
+			c.draining = append(c.draining, n)
+		}
 		c.markDirty(n)
 	}
 }

@@ -161,6 +161,9 @@ func (c *Cluster) applyNodeEvents() error {
 			if n == nil {
 				continue // the node already drained out; nothing left to act on
 			}
+			if n.state != NodeDraining {
+				c.draining = append(c.draining, n)
+			}
 			n.state = NodeDraining
 			n.StateTime = c.now
 		case NodeFail:
@@ -181,25 +184,37 @@ func (c *Cluster) applyNodeEvents() error {
 // foreign task have finished: the node leaves the fleet (NodeRemoved,
 // StateTime stamped at the decommission instant) instead of idling in traces
 // and bookkeeping forever. A drain of an already-empty node decommissions it
-// immediately.
+// immediately. Only nodes actually in the Draining state are visited: drain
+// events enqueue their node on the draining list, and a node leaves it when
+// it decommissions or a failure overtook the drain. Decommissions are
+// per-node-independent state flips, so visiting the short list in drain
+// order decides exactly what the historical full-fleet scan decided.
 func (c *Cluster) completeDrains() {
-	for _, n := range c.nodes {
-		if n.state != NodeDraining || len(n.Executors) > 0 {
-			continue
+	if len(c.draining) == 0 {
+		return
+	}
+	w := 0
+	for _, n := range c.draining {
+		if n.state != NodeDraining {
+			continue // failed mid-drain; failNode already settled it
 		}
-		busy := false
+		busy := len(n.Executors) > 0
 		for _, f := range n.Foreign {
-			if !f.done {
-				busy = true
+			if busy {
 				break
 			}
+			busy = !f.done
 		}
 		if busy {
+			c.draining[w] = n
+			w++
 			continue
 		}
 		n.state = NodeRemoved
 		n.StateTime = c.now
 	}
+	clear(c.draining[w:])
+	c.draining = c.draining[:w]
 }
 
 // nodeByID resolves a lifecycle event target. Failed nodes are invalid

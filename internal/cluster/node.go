@@ -111,31 +111,39 @@ func (n *Node) AllocatableGB() float64 {
 // demand beyond it is time-shared.
 func (n *Node) CPUCapacity() float64 { return n.cpuCap }
 
-// ReservedGB sums admission-time memory reservations (plus foreign working
-// sets).
+// ReservedGB sums admission-time memory reservations (plus resident foreign
+// working sets).
 func (n *Node) ReservedGB() float64 {
 	var s float64
 	for _, e := range n.Executors {
 		s += e.ReservedGB
 	}
 	for _, f := range n.Foreign {
+		if f.done && n.cfg.ReleaseForeignMem {
+			continue
+		}
 		s += f.MemoryGB
 	}
 	return s
 }
 
-// ActualGB sums true memory use. Note the long-standing modeling quirk: a
-// completed foreign task releases its CPU demand (CPUDemand checks done)
-// but its working set stays resident for the rest of the run — only node
-// failure clears it. The dirty-rate bookkeeping relies on this (a foreign
-// completion changes CPU terms but not ActualGB), so changing it means
-// re-capturing goldens; see the ROADMAP follow-on.
+// ActualGB sums true memory use. Note the long-standing modeling quirk: by
+// default a completed foreign task releases its CPU demand (CPUDemand checks
+// done) but its working set stays resident for the rest of the run — only
+// node failure clears it — and existing goldens depend on those rates.
+// Config.ReleaseForeignMem opts into the more faithful behaviour: a finished
+// co-runner's working set leaves both the reserved and actual sums, so the
+// node can un-page once its foreign guest is gone. Either way a foreign
+// completion marks the node dirty, so the rate bookkeeping stays exact.
 func (n *Node) ActualGB() float64 {
 	var s float64
 	for _, e := range n.Executors {
 		s += e.ActualGB
 	}
 	for _, f := range n.Foreign {
+		if f.done && n.cfg.ReleaseForeignMem {
+			continue
+		}
 		s += f.MemoryGB
 	}
 	return s

@@ -278,6 +278,10 @@ func TestIndexedEngineMatchesScanReference(t *testing.T) {
 		if r.Intn(2) == 0 {
 			cfg.TraceInterval = 40
 		}
+		// Half the seeds release completed foreign working sets: the memory
+		// sums then move on foreign completion, and the reference rate check
+		// must still agree with the dirty-node pass.
+		cfg.ReleaseForeignMem = r.Intn(2) == 0
 		c, err := NewHetero(cfg, SpecsFrom(fleet))
 		if err != nil {
 			t.Fatalf("seed %d: cluster: %v", seed, err)

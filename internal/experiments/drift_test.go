@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// driftCtx pins the adaptation study's test setup: two streams per point
+// (the default `reproduce -exp drift` shape) at the default seed.
+func driftCtx() Context {
+	ctx := DefaultContext()
+	ctx.MixesPerScenario = 16
+	return ctx
+}
+
+// The study's headline claim: under drifting workloads the feedback-driven
+// pipeline improves the p99 sojourn tail over predict-once (aggregated over
+// the offered loads — single points are dominated by whichever stream drew
+// an unlucky heap-thrash victim).
+func TestDriftAdaptiveImprovesTail(t *testing.T) {
+	r, err := Drift(driftCtx())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Workloads) != 2 {
+		t.Fatalf("%d workloads, want 2", len(r.Workloads))
+	}
+	for _, wr := range r.Workloads {
+		if len(wr.Rates) != len(driftRates) {
+			t.Fatalf("%s: %d rate points, want %d", wr.Workload, len(wr.Rates), len(driftRates))
+		}
+		var static, adaptive float64
+		for _, pt := range wr.Rates {
+			bySch := map[string]DriftSchemeResult{}
+			for _, s := range pt.Schemes {
+				bySch[s.Scheme] = s
+				if s.MeanSojournSec <= 0 || s.P99SojournSec <= 0 || s.ThroughputJobsPerHour <= 0 {
+					t.Errorf("%s at %.0f jobs/h: degenerate result %+v", s.Scheme, pt.JobsPerHour, s)
+				}
+			}
+			for _, name := range []string{"MoE-static", "MoE-adaptive", "Oracle"} {
+				if _, ok := bySch[name]; !ok {
+					t.Fatalf("%s at %.0f jobs/h: scheme %s missing", wr.Workload, pt.JobsPerHour, name)
+				}
+			}
+			static += bySch["MoE-static"].P99SojournSec
+			adaptive += bySch["MoE-adaptive"].P99SojournSec
+			// Ground truth without profiling cost bounds both from below.
+			if o := bySch["Oracle"].P99SojournSec; o > bySch["MoE-adaptive"].P99SojournSec*1.05 &&
+				o > bySch["MoE-static"].P99SojournSec*1.05 {
+				t.Errorf("%s at %.0f jobs/h: Oracle p99 %v above both predictors", wr.Workload, pt.JobsPerHour, o)
+			}
+		}
+		if adaptive >= static {
+			t.Errorf("%s: adaptive aggregate p99 %.1f did not improve on static %.1f", wr.Workload, adaptive, static)
+		}
+	}
+	tables := r.Tables()
+	if len(tables) != 3 || !strings.Contains(tables[0].String(), "p99") {
+		t.Error("drift tables broken")
+	}
+}
+
+// Adaptation state lives inside per-run predictor instances, so the study
+// must stay bit-identical at any worker count.
+func TestDriftDeterministicAcrossWorkerCounts(t *testing.T) {
+	ctx := driftCtx()
+	if testing.Short() {
+		ctx.MixesPerScenario = 8
+	}
+	ctx.Workers = 1
+	a, err := Drift(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx.Workers = 4
+	b, err := Drift(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Workloads) != len(b.Workloads) {
+		t.Fatal("workload counts differ")
+	}
+	for i := range a.Workloads {
+		for j := range a.Workloads[i].Rates {
+			for k := range a.Workloads[i].Rates[j].Schemes {
+				x := a.Workloads[i].Rates[j].Schemes[k]
+				y := b.Workloads[i].Rates[j].Schemes[k]
+				if x != y {
+					t.Errorf("%s rate %d scheme %s: %+v vs %+v",
+						a.Workloads[i].Workload, j, x.Scheme, x, y)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,86 @@
+package mathx
+
+import (
+	"fmt"
+	"math"
+)
+
+// OnlineLS is an incrementally-updatable least-squares fit: it maintains the
+// normal equations XᵀX and Xᵀy as running sums, so one observation is folded
+// in with O(dim²) work and the current coefficients can be solved for at any
+// time without revisiting past data. With Forget == 1 the solution is exactly
+// the batch least-squares fit of every observation seen so far; with
+// Forget < 1 the sums decay geometrically before each update (recursive least
+// squares with a forgetting factor), so the fit tracks a drifting
+// relationship instead of averaging over all history.
+type OnlineLS struct {
+	dim    int
+	forget float64
+	count  float64
+	xtx    []float64 // dim x dim, row-major
+	xty    []float64
+}
+
+// NewOnlineLS returns an empty dim-coefficient fit. forget must lie in
+// (0, 1]; 1 means no forgetting (pure batch equivalence).
+func NewOnlineLS(dim int, forget float64) *OnlineLS {
+	if dim <= 0 {
+		panic(fmt.Sprintf("mathx: OnlineLS needs a positive dimension, got %d", dim))
+	}
+	if !(forget > 0 && forget <= 1) {
+		panic(fmt.Sprintf("mathx: OnlineLS forgetting factor %v outside (0, 1]", forget))
+	}
+	return &OnlineLS{
+		dim:    dim,
+		forget: forget,
+		xtx:    make([]float64, dim*dim),
+		xty:    make([]float64, dim),
+	}
+}
+
+// Add folds one observation (design row x, response y) into the fit.
+// Non-finite observations are ignored rather than poisoning the sums.
+func (o *OnlineLS) Add(x []float64, y float64) {
+	if len(x) != o.dim {
+		panic(fmt.Sprintf("mathx: OnlineLS row has dim %d, want %d", len(x), o.dim))
+	}
+	if math.IsNaN(y) || math.IsInf(y, 0) {
+		return
+	}
+	for _, v := range x {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return
+		}
+	}
+	if o.forget != 1 {
+		for i := range o.xtx {
+			o.xtx[i] *= o.forget
+		}
+		for i := range o.xty {
+			o.xty[i] *= o.forget
+		}
+		o.count *= o.forget
+	}
+	for i := 0; i < o.dim; i++ {
+		for j := 0; j < o.dim; j++ {
+			o.xtx[i*o.dim+j] += x[i] * x[j]
+		}
+		o.xty[i] += x[i] * y
+	}
+	o.count++
+}
+
+// Count returns the effective number of observations: the plain count with
+// Forget == 1, the geometrically-decayed weight of history otherwise.
+func (o *OnlineLS) Count() float64 { return o.count }
+
+// Coef solves the current normal equations and returns the coefficient
+// vector. It fails when too few (effective) observations have been seen or
+// the design is singular (e.g. every row identical).
+func (o *OnlineLS) Coef() ([]float64, error) {
+	if o.count < float64(o.dim) {
+		return nil, fmt.Errorf("mathx: OnlineLS has %.1f effective observations, need %d", o.count, o.dim)
+	}
+	a := &Matrix{Rows: o.dim, Cols: o.dim, Data: o.xtx}
+	return SolveLinear(a, o.xty)
+}

@@ -1,0 +1,109 @@
+package mathx
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// With no forgetting, the incremental fit must reproduce the batch
+// least-squares solution of the same data (both solve the same normal
+// equations; sums accumulate in the same row order).
+func TestOnlineLSMatchesBatchRefit(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	const n, dim = 40, 3
+	rows := make([][]float64, n)
+	y := make([]float64, n)
+	ls := NewOnlineLS(dim, 1)
+	for i := 0; i < n; i++ {
+		x := []float64{1, rng.NormFloat64() * 3, rng.Float64() * 10}
+		rows[i] = x
+		y[i] = 2.5 + 0.7*x[1] - 1.3*x[2] + rng.NormFloat64()*0.05
+		ls.Add(x, y[i])
+	}
+	a, err := NewMatrixFromRows(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, err := LeastSquares(a, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inc, err := ls.Coef()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range batch {
+		if math.Abs(inc[j]-batch[j]) > 1e-9 {
+			t.Errorf("coef[%d]: incremental %v, batch %v", j, inc[j], batch[j])
+		}
+	}
+	if ls.Count() != n {
+		t.Errorf("count %v, want %d", ls.Count(), n)
+	}
+}
+
+// With a forgetting factor, the fit must track a drifting relationship: old
+// observations from a different slope decay away and the solution converges
+// to the current regime's coefficients.
+func TestOnlineLSForgettingTracksDrift(t *testing.T) {
+	ls := NewOnlineLS(2, 0.9)
+	rng := rand.New(rand.NewSource(7))
+	slope := func(m float64) {
+		for i := 0; i < 60; i++ {
+			x := 1 + rng.Float64()*9
+			ls.Add([]float64{1, x}, m*x)
+		}
+	}
+	slope(2) // old regime
+	slope(5) // current regime
+	coef, err := ls.Coef()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(coef[1]-5) > 0.05 {
+		t.Errorf("slope %v has not converged to the current regime's 5", coef[1])
+	}
+
+	noForget := NewOnlineLS(2, 1)
+	rng = rand.New(rand.NewSource(7))
+	slow := func(m float64) {
+		for i := 0; i < 60; i++ {
+			x := 1 + rng.Float64()*9
+			noForget.Add([]float64{1, x}, m*x)
+		}
+	}
+	slow(2)
+	slow(5)
+	flat, err := noForget.Coef()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flat[1] > 4.5 {
+		t.Errorf("without forgetting the slope %v should stay dragged toward the old regime", flat[1])
+	}
+}
+
+func TestOnlineLSErrors(t *testing.T) {
+	ls := NewOnlineLS(2, 1)
+	if _, err := ls.Coef(); err == nil {
+		t.Error("Coef on an empty fit must fail")
+	}
+	ls.Add([]float64{1, 2}, 3)
+	if _, err := ls.Coef(); err == nil {
+		t.Error("Coef with fewer observations than coefficients must fail")
+	}
+	// A singular design (identical rows) must be rejected, not produce NaNs.
+	ls.Add([]float64{1, 2}, 3)
+	ls.Add([]float64{1, 2}, 3)
+	if _, err := ls.Coef(); err == nil {
+		t.Error("Coef on a singular design must fail")
+	}
+	// Non-finite observations are ignored.
+	before := ls.Count()
+	ls.Add([]float64{1, math.NaN()}, 1)
+	ls.Add([]float64{1, 1}, math.Inf(1))
+	if ls.Count() != before {
+		t.Error("non-finite observations must be ignored")
+	}
+}

@@ -174,11 +174,31 @@ type Selection struct {
 // the training manifold are flagged even when their projection lands near a
 // cluster.
 func (m *Model) SelectFamily(raw features.Vector) (Selection, error) {
+	return m.selectFamily(raw, nil)
+}
+
+// SelectFamilyBiased is SelectFamily with a reweighted gate: every training
+// neighbour's distance is scaled by bias(family) before the vote, so an
+// expert whose recent predictions have been poor (bias > 1) must be
+// proportionally closer in feature space to be chosen. The confidence
+// distance is unaffected by the bias — it measures how far the target sits
+// from the training manifold, not which expert wins. A nil bias reproduces
+// SelectFamily exactly.
+func (m *Model) SelectFamilyBiased(raw features.Vector, bias func(memfunc.Family) float64) (Selection, error) {
+	return m.selectFamily(raw, bias)
+}
+
+func (m *Model) selectFamily(raw features.Vector, bias func(memfunc.Family) float64) (Selection, error) {
 	pcs, err := m.pipeline.Transform(raw)
 	if err != nil {
 		return Selection{}, fmt.Errorf("moe: projecting target: %w", err)
 	}
-	label, _, err := m.selector.PredictWithDistance(pcs)
+	var label int
+	if bias == nil {
+		label, _, err = m.selector.PredictWithDistance(pcs)
+	} else {
+		label, _, err = m.selector.PredictBiased(pcs, func(l int) float64 { return bias(memfunc.Family(l)) })
+	}
 	if err != nil {
 		return Selection{}, fmt.Errorf("moe: selecting expert: %w", err)
 	}
@@ -207,11 +227,18 @@ func (m *Model) SelectFamily(raw features.Vector) (Selection, error) {
 // Prediction is a fully instantiated memory function for one application.
 type Prediction struct {
 	Selection
-	// Func is the calibrated memory function.
+	// Func is the calibrated memory function (including any online
+	// recalibration an adaptive predictor applied).
 	Func memfunc.Func
+	// Uncorrected is the pure two-point calibration before online
+	// recalibration; equal to Func on the static path.
+	Uncorrected memfunc.Func
 	// FellBack reports that calibration switched family because the
 	// profiling points were infeasible for the selected expert.
 	FellBack bool
+	// Recalibrated reports that observed footprints adjusted the
+	// coefficients (adaptive predictors only).
+	Recalibrated bool
 }
 
 // Predict selects the expert for the application's features and calibrates
@@ -226,9 +253,10 @@ func (m *Model) Predict(raw features.Vector, p1, p2 memfunc.Point) (Prediction, 
 		return Prediction{}, fmt.Errorf("moe: calibrating %v: %w", sel.Family, err)
 	}
 	return Prediction{
-		Selection: sel,
-		Func:      fn,
-		FellBack:  fn.Family != sel.Family,
+		Selection:   sel,
+		Func:        fn,
+		Uncorrected: fn,
+		FellBack:    fn.Family != sel.Family,
 	}, nil
 }
 
@@ -252,6 +280,35 @@ func (m *Model) AddProgram(p TrainingProgram) error {
 		return fmt.Errorf("moe: extending selector: %w", err)
 	}
 	m.programs = append(m.programs, ProgramLabel{Name: p.Name, Family: fit.Func.Family, Fit: fit, PCs: pcs, Residual: res})
+	return nil
+}
+
+// Clone returns a model that shares the immutable feature pipeline but owns
+// private copies of the expert selector and program labels, so runtime
+// extensions — AddProgram, an adaptive gate's self-training via TeachGate —
+// never leak into the original. Adaptive predictors clone their model at
+// construction; the trained original stays safe to share across runs.
+func (m *Model) Clone() *Model {
+	cp := *m
+	cp.selector = m.selector.Clone()
+	cp.programs = append([]ProgramLabel(nil), m.programs...)
+	return &cp
+}
+
+// TeachGate adds one labelled sample to the expert selector at the given
+// position in the reduced feature space: the gate learns that programs
+// observed there belong to the family, without touching the pipeline,
+// program labels or confidence radius. It is the gate's online-update hook —
+// an adaptive predictor calls it when realised footprints prove a region of
+// feature space is routed to the wrong expert.
+func (m *Model) TeachGate(pcs []float64, fam memfunc.Family) error {
+	if !fam.Valid() {
+		return fmt.Errorf("moe: cannot teach invalid family %d", int(fam))
+	}
+	x := append([]float64(nil), pcs...)
+	if err := m.selector.Add(classify.Sample{X: x, Label: int(fam)}); err != nil {
+		return fmt.Errorf("moe: teaching gate: %w", err)
+	}
 	return nil
 }
 

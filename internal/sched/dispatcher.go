@@ -39,7 +39,10 @@ type Dispatcher struct {
 	waitBuf []*cluster.App
 }
 
-var _ cluster.Scheduler = (*Dispatcher)(nil)
+var (
+	_ cluster.Scheduler = (*Dispatcher)(nil)
+	_ cluster.Observer  = (*Dispatcher)(nil)
+)
 
 // Name implements cluster.Scheduler.
 func (d *Dispatcher) Name() string { return d.PolicyName }
@@ -50,6 +53,16 @@ func (d *Dispatcher) Prepare(_ *cluster.Cluster, app *cluster.App) cluster.Profi
 		return cluster.ProfilePlan{}
 	}
 	return d.Est.Prepare(app)
+}
+
+// Observe implements cluster.Observer: realised footprints are forwarded to
+// the estimator when it participates in the online prediction pipeline, and
+// dropped otherwise. Forwarding only ever updates model state, never cluster
+// state, so non-adaptive estimators behave exactly as before.
+func (d *Dispatcher) Observe(_ *cluster.Cluster, e *cluster.Executor, outcome cluster.ExecOutcome) {
+	if obs, ok := d.Est.(ObservingEstimator); ok {
+		obs.Observe(e, outcome)
+	}
 }
 
 // Schedule implements cluster.Scheduler.
@@ -121,7 +134,11 @@ func (d *Dispatcher) growExecutors(c *cluster.Cluster, app *cluster.App) {
 		if reserve < e.ReservedGB {
 			reserve = e.ReservedGB
 		}
-		_ = c.Grow(e, reserve, items)
+		if c.Grow(e, reserve, items) == nil {
+			// Grow may clamp the allocation to the remaining work; restamp
+			// the prediction for what was actually granted.
+			e.PredictedGB = est.Footprint(e.ItemsGB)
+		}
 	}
 }
 
@@ -171,6 +188,14 @@ func (d *Dispatcher) placeApp(c *cluster.Cluster, app *cluster.App) {
 	}
 	cfg := c.Config()
 	demand := app.Job.Bench.CPULoad
+	// The estimate is app-level state: fetch it once per placement pass and
+	// thread it through planning and the PredictedGB stamp, so the stamp is
+	// guaranteed to come from the same estimate the plan used.
+	var est MemEstimate
+	haveEst := false
+	if d.Est != nil {
+		est, haveEst = d.Est.Estimate(app)
+	}
 	d.cand.reset()
 	for _, n := range c.Nodes() {
 		if !n.Available() {
@@ -201,25 +226,28 @@ func (d *Dispatcher) placeApp(c *cluster.Cluster, app *cluster.App) {
 		if len(app.Executors) >= app.MaxExecutors || app.RemainingGB <= 0 {
 			return
 		}
-		reserve, items, ok := d.plan(cfg, app, n, n.FreeGB())
+		reserve, items, ok := d.plan(cfg, app, n, n.FreeGB(), est, haveEst)
 		if !ok {
 			continue
 		}
-		if _, err := c.Spawn(app, n, reserve, items); err != nil {
+		e, err := c.Spawn(app, n, reserve, items)
+		if err != nil {
 			continue
+		}
+		if haveEst {
+			// Spawn may clamp the allocation to the remaining work; stamp
+			// the prediction for what was actually granted so the
+			// observation hook compares like with like.
+			e.PredictedGB = est.Footprint(e.ItemsGB)
 		}
 	}
 }
 
 // plan decides the reservation and data allocation for a prospective
-// executor given the node's free memory.
-func (d *Dispatcher) plan(cfg cluster.Config, app *cluster.App, n *cluster.Node, free float64) (reserve, items float64, ok bool) {
+// executor given the node's free memory and the app's estimate (fetched
+// once by the caller — it is app-level, not node-level, state).
+func (d *Dispatcher) plan(cfg cluster.Config, app *cluster.App, n *cluster.Node, free float64, est MemEstimate, haveEst bool) (reserve, items float64, ok bool) {
 	share := remainingShare(app)
-	var est MemEstimate
-	haveEst := false
-	if d.Est != nil {
-		est, haveEst = d.Est.Estimate(app)
-	}
 	if !haveEst {
 		// No prediction: Spark-default allocation. The first executor on a
 		// node takes the default heap (half the node); a co-located one

@@ -16,6 +16,8 @@ import (
 	"math"
 
 	"moespark/internal/cluster"
+	"moespark/internal/features"
+	"moespark/internal/memfunc"
 )
 
 // Estimator plans profiling for an application and predicts executor memory
@@ -34,6 +36,17 @@ type Estimator interface {
 	Estimate(app *cluster.App) (MemEstimate, bool)
 }
 
+// ObservingEstimator is an Estimator that consumes the engine's
+// predicted-vs-actual footprint reports (the cluster.Observer flow): the
+// dispatcher forwards each observed executor outcome so the estimator's
+// model can recalibrate mid-stream.
+type ObservingEstimator interface {
+	Estimator
+	// Observe is invoked once per executor whose true footprint became
+	// known (app completion or OOM kill). It must not mutate the cluster.
+	Observe(e *cluster.Executor, outcome cluster.ExecOutcome)
+}
+
 // MemEstimate predicts the memory footprint of one application's executor
 // as a function of its data allocation.
 type MemEstimate struct {
@@ -42,6 +55,28 @@ type MemEstimate struct {
 	// Items returns the largest allocation whose predicted footprint stays
 	// within the budget (may be +Inf for bounded curves).
 	Items func(budgetGB float64) float64
+
+	// feedback carries the per-app context an observing estimator needs to
+	// report predicted-vs-actual outcomes; nil for non-observing estimators.
+	feedback *feedback
+}
+
+// feedback is the per-app observation context the MoE estimator stores
+// alongside its estimate: the features and reduced-space position the
+// prediction was made from, the expert the gate selected, the two profiling
+// points it was calibrated through, and the uncorrected calibration for the
+// stable regression target.
+type feedback struct {
+	features   features.Vector
+	pcs        []float64
+	family     memfunc.Family // the gate's routing decision
+	calibrated memfunc.Family // the curve family that made the prediction
+	p1, p2     memfunc.Point
+	raw        func(x float64) float64
+	// seq is the estimator-issued app sequence number: unique for the
+	// predictor's lifetime, unlike cluster app IDs, which restart at 0 when
+	// a scheduler is reused on a fresh cluster.
+	seq int
 }
 
 // estimateOf retrieves a MemEstimate installed by Prepare.

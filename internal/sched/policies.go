@@ -85,31 +85,73 @@ func (oracleEstimator) Prepare(app *cluster.App) cluster.ProfilePlan {
 
 func (oracleEstimator) Estimate(app *cluster.App) (MemEstimate, bool) { return estimateOf(app) }
 
-// moeEstimator is the paper's runtime predictor: feature extraction on a
-// ~100MB slice, KNN expert selection, two-point calibration.
+// moeEstimator is the paper's runtime predictor generalised over the online
+// prediction pipeline: feature extraction on a ~100MB slice, expert
+// selection and two-point calibration happen behind the moe.Predictor
+// interface, and every realised footprint the engine reports is fed back
+// through it (a no-op for the static model, model recalibration for the
+// adaptive one).
 type moeEstimator struct {
-	model *moe.Model
-	rng   *rand.Rand
+	pred moe.Predictor
+	rng  *rand.Rand
+	// seq numbers prepared apps across the estimator's lifetime; it feeds
+	// Observation.AppID so predictor-side once-per-app logic survives
+	// scheduler reuse on a fresh cluster (whose app IDs restart at 0).
+	seq int
 }
 
-// NewMoE returns the paper's scheme backed by a trained model.
+// NewMoE returns the paper's scheme backed by a trained model: the static,
+// predict-once-at-submission pipeline, bit-for-bit the historical behaviour.
 func NewMoE(model *moe.Model, rng *rand.Rand) *Dispatcher {
+	d := NewMoEPredictor(moe.NewStatic(model), rng)
+	d.PolicyName = "MoE"
+	return d
+}
+
+// NewAdaptiveMoE returns the feedback-driven variant: the same trained
+// model wrapped in moe.Adaptive, which recalibrates expert coefficients and
+// reweights the gate from the engine's completion/OOM observations.
+func NewAdaptiveMoE(model *moe.Model, cfg moe.AdaptiveConfig, rng *rand.Rand) *Dispatcher {
+	return NewMoEPredictor(moe.NewAdaptive(model, cfg), rng)
+}
+
+// NewMoEPredictor returns an MoE-style scheme driven by an arbitrary
+// prediction pipeline. The dispatcher's policy name is the predictor's.
+func NewMoEPredictor(p moe.Predictor, rng *rand.Rand) *Dispatcher {
 	return &Dispatcher{
-		PolicyName:   "MoE",
-		Est:          &moeEstimator{model: model, rng: rng},
+		PolicyName:   p.Name(),
+		Est:          &moeEstimator{pred: p, rng: rng},
 		SafetyMargin: defaultMargin,
 		CheckCPU:     true,
 	}
 }
 
-func (e *moeEstimator) Name() string { return "MoE" }
+func (e *moeEstimator) Name() string { return e.pred.Name() }
 
 func (e *moeEstimator) Prepare(app *cluster.App) cluster.ProfilePlan {
 	b := app.Job.Bench
 	s1, s2 := calibSizes(app.Job.InputGB)
-	pred, err := e.model.Predict(b.Counters(e.rng), b.ProfilePoint(s1, e.rng), b.ProfilePoint(s2, e.rng))
+	feats := b.Counters(e.rng)
+	p1 := b.ProfilePoint(s1, e.rng)
+	p2 := b.ProfilePoint(s2, e.rng)
+	pred, err := e.pred.Predict(feats, p1, p2)
 	if err == nil && pred.Confident {
-		app.Estimate = funcEstimate(pred.Func)
+		e.seq++
+		est := funcEstimate(pred.Func)
+		est.feedback = &feedback{
+			features:   feats,
+			pcs:        pred.Selection.PCs,
+			family:     pred.Selection.Family,
+			calibrated: pred.Func.Family,
+			p1:         p1,
+			p2:         p2,
+			raw:        funcEstimate(pred.Uncorrected).Footprint,
+			seq:        e.seq,
+		}
+		app.Estimate = est
+		if app.MaxExecutors > 0 {
+			app.PredictedGB = est.Footprint(app.Job.InputGB / float64(app.MaxExecutors))
+		}
 	}
 	// On low confidence or calibration failure the estimate stays unset and
 	// the dispatcher falls back to the conservative default policy for this
@@ -118,6 +160,34 @@ func (e *moeEstimator) Prepare(app *cluster.App) cluster.ProfilePlan {
 }
 
 func (e *moeEstimator) Estimate(app *cluster.App) (MemEstimate, bool) { return estimateOf(app) }
+
+// Observe implements ObservingEstimator: the executor's realised footprint
+// is set against the prediction its app was planned with and fed back
+// through the prediction pipeline.
+func (e *moeEstimator) Observe(ex *cluster.Executor, outcome cluster.ExecOutcome) {
+	est, ok := estimateOf(ex.App)
+	if !ok || est.feedback == nil || ex.PredictedGB <= 0 || ex.NeedGB <= 0 {
+		return
+	}
+	oc := moe.OutcomeCompleted
+	if outcome == cluster.ExecOOMKilled {
+		oc = moe.OutcomeOOM
+	}
+	e.pred.Observe(moe.Observation{
+		Features:       est.feedback.features,
+		PCs:            est.feedback.pcs,
+		Family:         est.feedback.family,
+		Calibrated:     est.feedback.calibrated,
+		AppID:          est.feedback.seq,
+		P1:             est.feedback.p1,
+		P2:             est.feedback.p2,
+		ItemsGB:        ex.ItemsGB,
+		PredictedGB:    ex.PredictedGB,
+		RawPredictedGB: est.feedback.raw(ex.ItemsGB),
+		ActualGB:       ex.NeedGB,
+		Outcome:        oc,
+	})
+}
 
 // onlineSearchEstimator models the Figure 10 baseline: descent-gradient
 // probing of the data allocation at runtime. The search eventually finds an

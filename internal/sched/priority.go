@@ -69,7 +69,10 @@ type priority struct {
 	lastRun   *cluster.Cluster
 }
 
-var _ cluster.Scheduler = (*priority)(nil)
+var (
+	_ cluster.Scheduler = (*priority)(nil)
+	_ cluster.Observer  = (*priority)(nil)
+)
 
 // NewPriority wraps a dispatcher-based policy with class-aware placement
 // and, when preempt is set, arrival-time preemption of preemptible
@@ -92,6 +95,12 @@ func (p *priority) Name() string { return p.inner.Name() }
 // Prepare implements cluster.Scheduler.
 func (p *priority) Prepare(c *cluster.Cluster, app *cluster.App) cluster.ProfilePlan {
 	return p.inner.Prepare(c, app)
+}
+
+// Observe implements cluster.Observer by delegating to the inner dispatcher,
+// so a priority-wrapped adaptive scheme still receives its feedback.
+func (p *priority) Observe(c *cluster.Cluster, e *cluster.Executor, outcome cluster.ExecOutcome) {
+	p.inner.Observe(c, e, outcome)
 }
 
 // Schedule implements cluster.Scheduler: preempt for starved high-priority
@@ -148,6 +157,11 @@ func (p *priority) preemptStarved(c *cluster.Cluster) {
 func (p *priority) placeable(c *cluster.Cluster, app *cluster.App) bool {
 	cfg := c.Config()
 	demand := app.Job.Bench.CPULoad
+	var est MemEstimate
+	haveEst := false
+	if p.inner.Est != nil {
+		est, haveEst = p.inner.Est.Estimate(app)
+	}
 	for _, n := range c.Nodes() {
 		if !n.Available() || app.ExecutorOn(n) || (app.BlockedOn(n) && len(n.Executors) > 0) {
 			continue
@@ -162,7 +176,7 @@ func (p *priority) placeable(c *cluster.Cluster, app *cluster.App) bool {
 		if free <= cfg.MinChunkGB {
 			continue
 		}
-		if _, _, ok := p.inner.plan(cfg, app, n, free); ok {
+		if _, _, ok := p.inner.plan(cfg, app, n, free, est, haveEst); ok {
 			return true
 		}
 	}

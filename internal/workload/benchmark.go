@@ -50,6 +50,13 @@ type Benchmark struct {
 	// ScanRate is the processing rate of one executor in GB/s when its CPU
 	// demand is fully satisfied.
 	ScanRate float64
+	// CounterSkew shifts the family-driven cache counters of Signature by
+	// this amount, modelling runtime-behaviour drift (a framework upgrade, a
+	// data-format change, working sets outgrowing caches) that moves a
+	// program's observed counters toward another family's cluster without
+	// changing its true memory curve. Zero — the catalogue default — is the
+	// undrifted signature; drift generators run skewed copies.
+	CounterSkew float64
 }
 
 // FullName returns the suite-qualified name, e.g. "HB.Sort".
@@ -121,7 +128,7 @@ func (b *Benchmark) Signature() features.Vector {
 		// what separates the clusters (Figure 4b).
 		v[i] = 0.40 + 0.20*famRng.Float64()
 	}
-	level := familyLevel(b.Truth.Family)
+	level := familyLevel(b.Truth.Family) + b.CounterSkew
 	for _, f := range drivenFeatures {
 		v[f] = level
 	}

@@ -22,6 +22,14 @@
 //     (TagArrivals), weighted-FCFS admission, class-aware placement and
 //     preemptive scheduling (NewPriorityScheduler) with per-class queueing
 //     metrics (MeasureQueueingByClass),
+//   - an online prediction pipeline: schedulers consume a Predictor
+//     interface rather than a concrete model, the engine reports every
+//     executor's realised footprint back through the scheduler (completion
+//     and OOM), and the adaptive implementation
+//     (NewAdaptiveMoEScheduler) recalibrates expert coefficients
+//     incrementally and retrains the gate from that feedback — with seeded
+//     drift generators (GrowthArrivals, RegimeArrivals) for the
+//     non-stationary workloads where adaptation pays,
 //   - the paper's co-location schedulers (Pairwise, Quasar, MoE, Oracle,
 //     OnlineSearch, unified single-model baselines), each accepting a
 //     pluggable placement scorer (first-fit, best-fit-memory, speed-aware),
@@ -93,6 +101,18 @@ type (
 	TrainingProgram = moe.TrainingProgram
 	// Prediction is a calibrated memory function for one application.
 	Prediction = moe.Prediction
+
+	// Predictor is the online prediction pipeline the schedulers consume:
+	// Predict selects and calibrates an expert, Observe feeds realised
+	// footprints back (a no-op on the static paper model).
+	Predictor = moe.Predictor
+	// PredictorObservation is one predicted-vs-actual footprint outcome.
+	PredictorObservation = moe.Observation
+	// AdaptiveConfig tunes the feedback-driven predictor (sliding window,
+	// forgetting factor, gate reweighting and teaching thresholds).
+	AdaptiveConfig = moe.AdaptiveConfig
+	// AdaptivePredictor is the feedback-driven mixture-of-experts predictor.
+	AdaptivePredictor = moe.Adaptive
 
 	// MemoryFunc is an instantiated memory-function expert.
 	MemoryFunc = memfunc.Func
@@ -277,8 +297,37 @@ func NewIsolatedScheduler() *Dispatcher { return sched.NewIsolated() }
 // NewPairwiseScheduler returns the pairwise co-location baseline.
 func NewPairwiseScheduler() *Dispatcher { return sched.NewPairwise() }
 
-// NewMoEScheduler returns the paper's scheme backed by a trained model.
+// NewMoEScheduler returns the paper's scheme backed by a trained model (the
+// static predict-once-at-submission pipeline).
 func NewMoEScheduler(model *Model, rng *rand.Rand) *Dispatcher { return sched.NewMoE(model, rng) }
+
+// NewStaticPredictor wraps a trained model as a non-adaptive Predictor.
+func NewStaticPredictor(model *Model) Predictor { return moe.NewStatic(model) }
+
+// NewAdaptivePredictor wraps a trained model with online adaptation state:
+// incremental expert recalibration from observed footprints, capped gate
+// reweighting, and evidence-validated gate self-training. The model is
+// cloned. Pair each predictor with one scheduler (NewPredictorScheduler);
+// to warm-start a later run from the learned state, reuse that scheduler as
+// a whole rather than re-wrapping the predictor.
+func NewAdaptivePredictor(model *Model, cfg AdaptiveConfig) *AdaptivePredictor {
+	return moe.NewAdaptive(model, cfg)
+}
+
+// NewAdaptiveMoEScheduler returns the feedback-driven MoE scheme: the
+// engine reports each executor's realised footprint back through the
+// scheduler (completion and OOM), and the predictor recalibrates
+// mid-stream. The zero AdaptiveConfig selects the defaults used by the
+// drift study.
+func NewAdaptiveMoEScheduler(model *Model, cfg AdaptiveConfig, rng *rand.Rand) *Dispatcher {
+	return sched.NewAdaptiveMoE(model, cfg, rng)
+}
+
+// NewPredictorScheduler returns an MoE-style scheme driven by an arbitrary
+// prediction pipeline implementation.
+func NewPredictorScheduler(p Predictor, rng *rand.Rand) *Dispatcher {
+	return sched.NewMoEPredictor(p, rng)
+}
 
 // NewOracleScheduler returns the ideal-predictor scheme.
 func NewOracleScheduler() *Dispatcher { return sched.NewOracle() }
@@ -322,6 +371,20 @@ func BurstyArrivals(n int, burstRate, meanBurst, idleSec float64, rng *rand.Rand
 // profile around baseRate (amplitude in [0,1), period in seconds).
 func DiurnalArrivals(n int, baseRate, amplitude, periodSec float64, rng *rand.Rand) ([]Arrival, error) {
 	return workload.DiurnalArrivals(n, baseRate, amplitude, periodSec, rng)
+}
+
+// GrowthArrivals generates a seeded drifting stream: input sizes ramp by the
+// growth factor while the log-family cohort's runtime counters drift by skew
+// toward the saturating cluster (0 disables behaviour drift).
+func GrowthArrivals(n int, ratePerSec, startGB, growth, skew float64, rng *rand.Rand) ([]Arrival, error) {
+	return workload.GrowthArrivals(n, ratePerSec, startGB, growth, skew, rng)
+}
+
+// RegimeArrivals generates a seeded drifting stream switching every
+// periodJobs arrivals between the clean catalogue and a counter-skewed
+// drift cohort.
+func RegimeArrivals(n int, ratePerSec float64, periodJobs int, skew float64, rng *rand.Rand) ([]Arrival, error) {
+	return workload.RegimeArrivals(n, ratePerSec, periodJobs, skew, rng)
 }
 
 // SubmissionsFromArrivals lifts a workload arrival stream into the engine's

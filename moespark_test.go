@@ -175,3 +175,38 @@ func TestFacadeOpenSystem(t *testing.T) {
 		t.Errorf("DiurnalArrivals: %v", err)
 	}
 }
+
+func TestFacadeAdaptivePipeline(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	model, err := TrainDefaultModel(rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arrivals, err := GrowthArrivals(12, 80.0/3600, 2, 20, -0.35, rand.New(rand.NewSource(32)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred := NewAdaptivePredictor(model, AdaptiveConfig{})
+	sim := NewCluster(DefaultClusterConfig())
+	res, err := sim.RunOpen(SubmissionsFromArrivals(arrivals), NewPredictorScheduler(pred, rand.New(rand.NewSource(33))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pred.Observations() == 0 {
+		t.Error("adaptive predictor received no feedback through the facade")
+	}
+	q, err := MeasureQueueing(res, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.MeanSojournSec <= 0 {
+		t.Errorf("degenerate queueing metrics: %+v", q)
+	}
+	d := NewAdaptiveMoEScheduler(model, AdaptiveConfig{}, rand.New(rand.NewSource(34)))
+	if d.Name() != "MoE-adaptive" {
+		t.Errorf("adaptive scheduler named %q", d.Name())
+	}
+	if NewStaticPredictor(model).Name() != "MoE-static" {
+		t.Errorf("static predictor misnamed")
+	}
+}
