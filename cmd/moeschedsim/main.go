@@ -332,27 +332,29 @@ type jsonOutput struct {
 
 func main() {
 	var (
-		policy     = flag.String("policy", "moe", "isolated|pairwise|quasar|moe|oracle|online|unified-linear|unified-exp|unified-log")
-		placer     = flag.String("placer", "firstfit", "placement scoring: firstfit|bestfit|speed")
-		scenario   = flag.String("scenario", "L8", "task-mix scenario label (Table 3: L1..L10)")
-		table4     = flag.Bool("table4", false, "use the paper's exact Table 4 mix instead of a random one")
-		fleet      = flag.String("fleet", "uniform", "node fleet: uniform|bimodal|stragglers")
-		nodes      = flag.Int("nodes", 40, "initial fleet size")
-		nodeEvents = flag.String("node-events", "", "timed lifecycle events, e.g. drain@600:3,fail@900:7,join@1200")
-		arrivals   = flag.String("arrivals", "", "open-system arrival process: poisson|bursty|diurnal (empty = closed batch)")
-		drift      = flag.String("drift", "", "non-stationary open-system workload: growth|regimes (incompatible with -arrivals)")
-		adapt      = flag.Bool("adapt", false, "use the feedback-driven adaptive MoE pipeline (requires -policy moe)")
-		rate       = flag.Float64("rate", 60, "mean arrival rate in jobs/hour (open-system mode)")
-		apps       = flag.Int("apps", 30, "stream length in jobs (open-system mode)")
-		burstLen   = flag.Float64("burst", 5, "mean jobs per burst (bursty arrivals)")
-		idleSec    = flag.Float64("idle", 0, "mean idle gap between bursts in seconds (bursty arrivals; 0 = derived so the long-run rate matches -rate)")
-		period     = flag.Float64("period", 3600, "day/night period in seconds (diurnal arrivals)")
-		window     = flag.Float64("window", 600, "throughput window in seconds (open-system mode)")
-		classes    = flag.String("classes", "", `tenant class mix (open-system mode): "latency-batch" or name:weight:frac[:preempt][:capN],... (empty = single tenant)`)
-		preempt    = flag.Bool("preempt", false, "let high-priority arrivals preempt preemptible executors (requires -classes)")
-		seed       = flag.Int64("seed", 1, "random seed")
-		verbose    = flag.Bool("verbose", false, "print per-application timings")
-		jsonOut    = flag.Bool("json", false, "emit results as a JSON object instead of tables")
+		policy         = flag.String("policy", "moe", "isolated|pairwise|quasar|moe|oracle|online|unified-linear|unified-exp|unified-log")
+		placer         = flag.String("placer", "firstfit", "placement scoring: firstfit|bestfit|speed")
+		scenario       = flag.String("scenario", "L8", "task-mix scenario label (Table 3: L1..L10)")
+		table4         = flag.Bool("table4", false, "use the paper's exact Table 4 mix instead of a random one")
+		fleet          = flag.String("fleet", "uniform", "node fleet: uniform|bimodal|stragglers")
+		nodes          = flag.Int("nodes", 40, "initial fleet size")
+		nodeEvents     = flag.String("node-events", "", "timed lifecycle events, e.g. drain@600:3,fail@900:7,join@1200")
+		arrivals       = flag.String("arrivals", "", "open-system arrival process: poisson|bursty|diurnal (empty = closed batch)")
+		drift          = flag.String("drift", "", "non-stationary open-system workload: growth|regimes (incompatible with -arrivals)")
+		adapt          = flag.Bool("adapt", false, "use the feedback-driven adaptive MoE pipeline (requires -policy moe)")
+		rate           = flag.Float64("rate", 60, "mean arrival rate in jobs/hour (open-system mode)")
+		apps           = flag.Int("apps", 30, "stream length in jobs (open-system mode)")
+		burstLen       = flag.Float64("burst", 5, "mean jobs per burst (bursty arrivals)")
+		idleSec        = flag.Float64("idle", 0, "mean idle gap between bursts in seconds (bursty arrivals; 0 = derived so the long-run rate matches -rate)")
+		period         = flag.Float64("period", 3600, "day/night period in seconds (diurnal arrivals)")
+		window         = flag.Float64("window", 600, "throughput window in seconds (open-system mode)")
+		classes        = flag.String("classes", "", `tenant class mix (open-system mode): "latency-batch" or name:weight:frac[:preempt][:capN],... (empty = single tenant)`)
+		preempt        = flag.Bool("preempt", false, "let high-priority arrivals preempt preemptible executors (requires -classes)")
+		keepForeignMem = flag.Bool("keep-foreign-mem", false, "keep completed co-runners' working sets resident (pre-settle-engine default; opt out of ReleaseForeignMem)")
+		legacySizing   = flag.Bool("legacy-sizing", false, "size executor fleets with the reference formula regardless of free-node capacity (opt out of FleetAwareSizing)")
+		seed           = flag.Int64("seed", 1, "random seed")
+		verbose        = flag.Bool("verbose", false, "print per-application timings")
+		jsonOut        = flag.Bool("json", false, "emit results as a JSON object instead of tables")
 	)
 	flag.Parse()
 
@@ -408,6 +410,12 @@ func main() {
 
 	cfg := cluster.DefaultConfig()
 	cfg.Nodes = *nodes
+	if *keepForeignMem {
+		cfg.ReleaseForeignMem = false
+	}
+	if *legacySizing {
+		cfg.FleetAwareSizing = false
+	}
 	var c *cluster.Cluster
 	if specs == nil {
 		c = cluster.New(cfg)

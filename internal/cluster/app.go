@@ -100,6 +100,19 @@ type App struct {
 	// startupUntil is the time processing can begin (launch latency).
 	startupUntil float64
 
+	// settledAt is the last instant RemainingGB / profileLeft were settled
+	// (integrated to). Rates are piecewise-constant between settle points, so
+	// progress fields are exact at settledAt and integrated forward in one
+	// multiply when the next settle point arrives (see eventindex.go).
+	settledAt float64
+	// deadline is the absolute completion time registered on the completion
+	// heap (+Inf when the app has none); a heap entry is live only while its
+	// time still equals this field.
+	deadline float64
+	// touched marks the app as pending a deadline refresh this iteration
+	// (it is on Cluster.touchedApps).
+	touched bool
+
 	// Estimate is scratch space for the scheduling policy (e.g. the
 	// calibrated memory function); the engine never touches it.
 	Estimate any

@@ -89,15 +89,16 @@ type Config struct {
 	// ReleaseForeignMem, when set, frees a completed foreign task's working
 	// set: its MemoryGB leaves the node's reserved and actual memory the
 	// moment the task finishes, so a node stops paying paging/OOM pressure
-	// for co-runners that are gone. Default off: the historical engine keeps
-	// foreign working sets resident forever (the documented quirk in
-	// node.go), and existing goldens depend on those rates bit-for-bit.
+	// for co-runners that are gone. On by default since the settle-engine
+	// golden re-capture; clear it to restore the historical quirk where
+	// foreign working sets stay resident forever (documented in node.go).
 	ReleaseForeignMem bool
 	// FleetAwareSizing, when set, sizes each application's executor fleet
 	// from the specs of nodes actually free at admission instead of assuming
-	// ExecutorSpreadGB-per-reference-node (see Cluster.fleetFor). Default
-	// off: the reference formula NodesFor is the historical behaviour and
-	// existing goldens depend on it.
+	// ExecutorSpreadGB-per-reference-node (see Cluster.fleetFor). On by
+	// default since the settle-engine golden re-capture; clear it to restore
+	// the reference formula NodesFor unconditionally. On a uniform reference
+	// fleet with enough free nodes the two agree.
 	FleetAwareSizing bool
 	// TraceInterval, when positive, samples per-node utilization every so
 	// many simulated seconds (Figure 7).
@@ -127,6 +128,8 @@ func DefaultConfig() Config {
 		MinChunkGB:          0.05,
 		OOMReprocessFrac:    1.0,
 		StartupSec:          8,
+		ReleaseForeignMem:   true,
+		FleetAwareSizing:    true,
 		TraceInterval:       0,
 	}
 }

@@ -96,6 +96,17 @@ type Cluster struct {
 	doneForeign   int
 	dirtyNodes    []*Node
 	wakes         wakeHeap
+	// completions is the lazy-deletion min-heap of absolute completion
+	// deadlines; completionSeq numbers pushes so equal deadlines pop FIFO.
+	// touchedApps/touchedForeign collect the entities whose deadlines must be
+	// recomputed at the end of the current iteration (refreshDeadlines), and
+	// lastShare is the profiling share in force since the last settle point —
+	// the rate profiling progress is integrated with.
+	completions    completionHeap
+	completionSeq  uint64
+	touchedApps    []*App
+	touchedForeign []*ForeignTask
+	lastShare      float64
 
 	// observer is the scheduler's optional observation hook (see Observer),
 	// resolved once per run.
@@ -237,22 +248,23 @@ func (c *Cluster) AddReadyApp(job workload.Job) *App {
 		RemainingGB:  job.InputGB,
 		MaxExecutors: c.fleetFor(job.InputGB),
 		State:        StateReady,
+		settledAt:    c.now, deadline: math.Inf(1),
 	}
 	c.apps = append(c.apps, a)
 	c.active = append(c.active, a)
 	return a
 }
 
-// fleetFor sizes an application's executor fleet at admission. The default
-// is the platform formula Config.NodesFor, which assumes every executor
-// lands on a reference-sized node — wrong on big/little fleets, where a
-// little node carries far less than ExecutorSpreadGB and a big node far
-// more. With Config.FleetAwareSizing set, the fleet is sized from the specs
-// of nodes actually free at admission: each placeable node contributes a
-// spread share proportional to its allocatable memory, and the fleet is the
-// fewest largest-first nodes whose shares cover the input (every eligible
-// node, when even that is not enough). On a uniform reference fleet with
-// enough free nodes both paths agree.
+// fleetFor sizes an application's executor fleet at admission. With
+// Config.FleetAwareSizing set (the default), the fleet is sized from the
+// specs of nodes actually free at admission: each placeable node contributes
+// a spread share proportional to its allocatable memory, and the fleet is
+// the fewest largest-first nodes whose shares cover the input (every
+// eligible node, when even that is not enough). Without it the platform
+// formula Config.NodesFor applies, which assumes every executor lands on a
+// reference-sized node — wrong on big/little fleets, where a little node
+// carries far less than ExecutorSpreadGB and a big node far more. On a
+// uniform reference fleet with enough free nodes both paths agree.
 func (c *Cluster) fleetFor(inputGB float64) int {
 	if !c.cfg.FleetAwareSizing {
 		return c.cfg.NodesFor(inputGB)
@@ -303,6 +315,7 @@ func (c *Cluster) AddForeign(nodeID int, name string, cpuLoad, memoryGB, workSec
 		Name: name, Node: c.nodes[nodeID], CPULoad: cpuLoad,
 		MemoryGB: memoryGB, WorkSec: workSec, remaining: workSec,
 		StartTime: c.now, DoneTime: -1,
+		settledAt: c.now, deadline: math.Inf(1),
 	}
 	c.nodes[nodeID].Foreign = append(c.nodes[nodeID].Foreign, f)
 	c.foreign = append(c.foreign, f)
@@ -344,6 +357,11 @@ func (c *Cluster) Spawn(app *App, node *Node, reserveGB, itemsGB float64) (*Exec
 	if app.State != StateReady && app.State != StateRunning {
 		return nil, fmt.Errorf("%w: %s is %v", ErrAppNotSchedulable, app.Job, app.State)
 	}
+	// Spawning changes the app's rate structure: settle its progress first so
+	// the validation, fair-share and clamp below read RemainingGB exact at
+	// the current instant, and queue the deadline refresh.
+	c.settleApp(app)
+	c.touchApp(app)
 	if app.RemainingGB <= eps {
 		return nil, fmt.Errorf("%w: no work left", ErrAppNotSchedulable)
 	}
@@ -425,6 +443,10 @@ func (c *Cluster) Grow(e *Executor, newReserveGB, newItemsGB float64) error {
 	if delta > e.Node.FreeGB()+eps {
 		return fmt.Errorf("%w: grow needs %.2f GB, free %.2f GB", ErrNoFreeMemory, delta, e.Node.FreeGB())
 	}
+	// Growing changes the executor's rate inputs: settle before clamping the
+	// allocation against the app's progress. (The dirty mark below re-touches
+	// the app through the node's rate pass.)
+	c.settleApp(e.App)
 	if newItemsGB > e.App.RemainingGB {
 		newItemsGB = e.App.RemainingGB
 	}
@@ -556,17 +578,19 @@ func (c *Cluster) RunOpen(subs []Submission, sched Scheduler) (*Result, error) {
 		sched.Schedule(c)
 		c.recomputeRates()
 		// The profiling share is a pure function of the profiling set, which
-		// cannot change between event selection and integration: compute it
-		// once per iteration and thread it through both.
+		// cannot change until the next iteration mutates it: compute it once,
+		// settle the profiling set if it moved, and refresh the completion
+		// deadlines of everything whose rates changed this iteration.
 		share := c.profilingShare()
-		dt, ok := c.nextEventDt(share)
+		c.refreshDeadlines(share)
+		dt, ok := c.nextEventDt()
 		if c.checkEvent != nil {
 			c.checkEvent(share, dt, ok)
 		}
 		if !ok {
 			return nil, fmt.Errorf("cluster: simulation stalled at t=%.1fs under %s (no runnable work)", c.now, sched.Name())
 		}
-		c.advance(dt, share)
+		c.advance(dt)
 	}
 	return nil, fmt.Errorf("cluster: exceeded %d events under %s", maxEvents, sched.Name())
 }
@@ -589,6 +613,7 @@ func (c *Cluster) admitArrivals(sched Scheduler) (int, error) {
 			RemainingGB:  sub.Job.InputGB,
 			MaxExecutors: c.fleetFor(sub.Job.InputGB),
 			State:        StateQueued,
+			settledAt:    c.now, deadline: math.Inf(1),
 		}
 		c.apps = append(c.apps, a)
 		c.active = append(c.active, a)
@@ -627,7 +652,11 @@ func (c *Cluster) admitProfiling(first int) {
 	for _, a := range c.apps[first:] {
 		if a.State == StateQueued {
 			a.State = StateProfiling
+			a.settledAt = c.now
 			c.profiling = append(c.profiling, a)
+			// A new profiling app needs a deadline even when the share does
+			// not move (refreshDeadlines only settles the set on a change).
+			c.touchApp(a)
 		}
 	}
 }
@@ -686,6 +715,21 @@ func (c *Cluster) recomputeRates() {
 // startup expiry among its executors, re-registered on the wake heap when it
 // changed so the node is re-dirtied the instant a zero rate comes alive.
 func (c *Cluster) rateNode(n *Node) {
+	// This node's rates are about to be reassigned: settle every resident
+	// entity's progress under the OLD rates first (they held from the last
+	// settle point up to this instant), and queue deadline refreshes — even
+	// for entities already settled this iteration, since the new rates shift
+	// their deadlines.
+	for _, e := range n.Executors {
+		c.settleApp(e.App)
+		c.touchApp(e.App)
+	}
+	for _, f := range n.Foreign {
+		if !f.done {
+			c.settleForeign(f)
+			c.touchForeign(f)
+		}
+	}
 	c.enforceOOM(n)
 	sumD := n.CPUDemand()
 	usable := n.Spec.UsableGB()
@@ -748,6 +792,11 @@ func (c *Cluster) rateNode(n *Node) {
 // the reprocessing accounting cannot diverge between them.
 func (c *Cluster) reclaimExecutor(victim *Executor) {
 	app := victim.App
+	// Settle before the charge-back lands, and queue a deadline refresh: the
+	// app may keep executors on other (clean) nodes, so the node's own rate
+	// pass would not necessarily re-register it.
+	c.settleApp(app)
+	c.touchApp(app)
 	c.removeExecutor(victim)
 	app.RemainingGB += c.cfg.OOMReprocessFrac * victim.ItemsGB
 	if app.RemainingGB > app.Job.InputGB {
@@ -878,42 +927,38 @@ func appRate(a *App) float64 {
 	return s
 }
 
-// nextEventDt finds the time to the next state-changing event. Rate-driven
-// completion candidates are scanned over the active sets only (a done app or
-// foreign task can never produce one); exact-time candidates come from the
-// queue heads. The minimum over the surviving candidates is the same float
-// the full scan produced — min is order-independent, and every candidate is
-// computed from current state with the original expressions.
-func (c *Cluster) nextEventDt(share float64) (float64, bool) {
+// nextEventDt finds the time to the next state-changing event. Every event
+// source is now a queue head: rate-driven completions come off the deadline
+// heap (stale tops are discarded in passing), startup expiries off the wake
+// heap, and submissions, node events and trace samples off their time-sorted
+// queues — O(log heap) per event instead of a scan over the active sets.
+// Every deadline on the heap equals what a fresh scan over the settled state
+// would compute (refreshDeadlines re-registers on every rate change), so the
+// heap top IS the scan minimum.
+func (c *Cluster) nextEventDt() (float64, bool) {
 	const tiny = 1e-9
 	best := math.Inf(1)
-	for _, a := range c.active {
-		switch a.State {
-		case StateProfiling:
-			rate := a.Job.Bench.ScanRate * c.cfg.ProfilingRateFactor * share
-			if rate > 0 && a.profileLeft > 0 {
-				if dt := a.profileLeft / rate; dt < best {
-					best = dt
-				}
-			}
-		case StateRunning:
-			if a.startupUntil > c.now {
-				if dt := a.startupUntil - c.now; dt < best {
-					best = dt
-				}
-			} else if r := appRate(a); r > tiny {
-				if dt := a.RemainingGB / r; dt < best {
-					best = dt
-				}
-			}
+	for len(c.completions) > 0 {
+		top := c.completions[0]
+		if top.stale() {
+			c.completions.pop()
+			continue
 		}
+		if dt := top.at - c.now; dt < best {
+			best = dt
+		}
+		break
 	}
-	for _, f := range c.activeForeign {
-		if !f.done && f.rate > tiny {
-			if dt := f.remaining / f.rate; dt < best {
-				best = dt
-			}
+	for len(c.wakes) > 0 {
+		top := c.wakes[0]
+		if top.n.wakeAt != top.at {
+			c.wakes.pop()
+			continue
 		}
+		if dt := top.at - c.now; dt < best {
+			best = dt
+		}
+		break
 	}
 	if len(c.pending) > 0 {
 		if dt := c.pending[0].At - c.now; dt < best {
@@ -937,65 +982,62 @@ func (c *Cluster) nextEventDt(share float64) (float64, bool) {
 	return best, true
 }
 
-// advance integrates progress over dt and fires completions. Only active
-// entities are walked (in the same relative order the full scans used, so
-// identical float operations run in identical order); entities that complete
-// are counted done and compacted out of their active list in place.
-func (c *Cluster) advance(dt, share float64) {
-	const eps = 1e-6
+// advance moves the clock to the chosen event and fires every completion
+// whose deadline has come. Progress integration happens at settle points
+// (settleApp/settleForeign), not here: an event that changes no rates costs
+// O(pops), not O(active).
+func (c *Cluster) advance(dt float64) {
 	c.now += dt
-	w := 0
-	leftProfiling := false
-	for _, a := range c.active {
-		switch a.State {
-		case StateProfiling:
-			a.profileLeft -= a.Job.Bench.ScanRate * c.cfg.ProfilingRateFactor * share * dt
-			if a.profileLeft <= eps {
-				a.profileLeft = 0
-				// The contributed part of the profiled data counts towards
-				// the final output.
-				a.RemainingGB -= a.ContributeGB
-				if a.RemainingGB <= eps {
-					a.RemainingGB = 0
-					a.State = StateDone
-					a.ReadyTime = c.now
-					a.DoneTime = c.now
-				} else {
-					a.State = StateReady
-					a.ReadyTime = c.now
-				}
-				leftProfiling = true
-			}
-		case StateRunning:
-			a.RemainingGB -= appRate(a) * dt
-			if a.RemainingGB <= eps {
-				a.RemainingGB = 0
-				if c.observer != nil {
-					// Report realised footprints while the executors are
-					// still attached: the completion is the moment their true
-					// demand is confirmed.
-					for _, e := range a.Executors {
-						c.observer.Observe(c, e, ExecCompleted)
-					}
-				}
-				for len(a.Executors) > 0 {
-					c.removeExecutor(a.Executors[0])
-				}
-				a.State = StateDone
-				a.DoneTime = c.now
-			}
+	c.popCompletions()
+	if c.trace != nil {
+		c.trace.maybeSample(c.now, c.nodes)
+	}
+}
+
+// popCompletions fires every due completion off the deadline heap in
+// (deadline, registration) order. The pop window extends one dt-clamp (1e-9s)
+// past the clock: the event dt is computed as deadline-minus-now and added
+// back onto the clock, so the landing instant can sit an ulp on either side
+// of the stored deadline; an entity popped marginally early has at most
+// rate*1e-9 GB left, absorbed by the completion epsilon exactly like the
+// per-event engine's threshold was. Completed apps are compacted out of the
+// order-preserving active/profiling lists in one sweep per completion event.
+func (c *Cluster) popCompletions() {
+	const tiny = 1e-9
+	appsDone, profilingLeft, foreignDone := false, false, false
+	for len(c.completions) > 0 {
+		top := c.completions[0]
+		if top.stale() {
+			c.completions.pop()
+			continue
 		}
-		if a.State == StateDone {
-			c.doneApps++
+		if top.at > c.now+tiny {
+			break
+		}
+		c.completions.pop()
+		if top.app != nil {
+			wasProfiling := top.app.State == StateProfiling
+			c.completeApp(top.app)
+			appsDone = appsDone || top.app.State == StateDone
+			profilingLeft = profilingLeft || (wasProfiling && top.app.State != StateProfiling)
 		} else {
-			c.active[w] = a
-			w++
+			c.completeForeign(top.f)
+			foreignDone = foreignDone || top.f.done
 		}
 	}
-	clear(c.active[w:])
-	c.active = c.active[:w]
-	if leftProfiling {
-		w = 0
+	if appsDone {
+		w := 0
+		for _, a := range c.active {
+			if a.State != StateDone {
+				c.active[w] = a
+				w++
+			}
+		}
+		clear(c.active[w:])
+		c.active = c.active[:w]
+	}
+	if profilingLeft {
+		w := 0
 		for _, a := range c.profiling {
 			if a.State == StateProfiling {
 				c.profiling[w] = a
@@ -1005,35 +1047,101 @@ func (c *Cluster) advance(dt, share float64) {
 		clear(c.profiling[w:])
 		c.profiling = c.profiling[:w]
 	}
-	w = 0
-	for _, f := range c.activeForeign {
-		if f.done {
-			// Killed by a node failure since the last sweep; already counted
-			// there, just drop it from the active list.
-			continue
+	if foreignDone {
+		w := 0
+		for _, f := range c.activeForeign {
+			// Drops deadline completions and any task killed by a node
+			// failure since the last sweep (counted there already).
+			if !f.done {
+				c.activeForeign[w] = f
+				w++
+			}
 		}
-		f.remaining -= f.rate * dt
-		if f.remaining <= eps {
-			f.remaining = 0
-			f.done = true
-			f.DoneTime = c.now
-			c.doneForeign++
-			// The finished co-runner stops contending for CPU, so its node's
-			// survivors speed up. (Its working set stays resident by default —
-			// see the ActualGB quirk note in node.go — or leaves the memory
-			// sums too under Config.ReleaseForeignMem; the dirty mark covers
-			// both.)
-			c.markDirty(f.Node)
-			continue
+		clear(c.activeForeign[w:])
+		c.activeForeign = c.activeForeign[:w]
+	}
+}
+
+// completeApp settles the app at its deadline and fires the completion
+// transition the per-event engine used to detect by thresholding the
+// freshly-integrated remainder. If the settled remainder is somehow still
+// above the epsilon the deadline was premature (defensive; the refresh pass
+// re-registers on every rate change) and the app is simply re-registered.
+func (c *Cluster) completeApp(a *App) {
+	const eps = 1e-6
+	c.settleApp(a)
+	switch a.State {
+	case StateProfiling:
+		if a.profileLeft > eps {
+			c.reregisterDeadline(a)
+			return
 		}
-		c.activeForeign[w] = f
-		w++
+		a.profileLeft = 0
+		// The contributed part of the profiled data counts towards the final
+		// output.
+		a.RemainingGB -= a.ContributeGB
+		if a.RemainingGB <= eps {
+			a.RemainingGB = 0
+			a.State = StateDone
+			a.ReadyTime = c.now
+			a.DoneTime = c.now
+			c.doneApps++
+		} else {
+			a.State = StateReady
+			a.ReadyTime = c.now
+		}
+	case StateRunning:
+		if a.RemainingGB > eps {
+			c.reregisterDeadline(a)
+			return
+		}
+		a.RemainingGB = 0
+		if c.observer != nil {
+			// Report realised footprints while the executors are still
+			// attached: the completion is the moment their true demand is
+			// confirmed.
+			for _, e := range a.Executors {
+				c.observer.Observe(c, e, ExecCompleted)
+			}
+		}
+		for len(a.Executors) > 0 {
+			c.removeExecutor(a.Executors[0])
+		}
+		a.State = StateDone
+		a.DoneTime = c.now
+		c.doneApps++
 	}
-	clear(c.activeForeign[w:])
-	c.activeForeign = c.activeForeign[:w]
-	if c.trace != nil {
-		c.trace.maybeSample(c.now, c.nodes)
+	a.deadline = math.Inf(1)
+}
+
+// reregisterDeadline force-pushes a fresh deadline for an app whose popped
+// entry fired before its work was actually done (the entry itself is gone, so
+// the one-entry-per-finite-deadline invariant must be restored even if the
+// recomputed time is bit-identical).
+func (c *Cluster) reregisterDeadline(a *App) {
+	a.deadline = math.Inf(1)
+	c.setAppDeadline(a, c.lastShare)
+}
+
+// completeForeign settles the foreign task at its deadline and completes it.
+func (c *Cluster) completeForeign(f *ForeignTask) {
+	const eps = 1e-6
+	c.settleForeign(f)
+	if f.remaining > eps {
+		f.deadline = math.Inf(1)
+		c.setForeignDeadline(f)
+		return
 	}
+	f.remaining = 0
+	f.done = true
+	f.DoneTime = c.now
+	c.doneForeign++
+	f.deadline = math.Inf(1)
+	// The finished co-runner stops contending for CPU, so its node's
+	// survivors speed up. (Its working set stays resident by default — see
+	// the ActualGB quirk note in node.go — or leaves the memory sums too
+	// under Config.ReleaseForeignMem; the dirty mark covers both.)
+	c.markDirty(f.Node)
 }
 
 func (c *Cluster) result() *Result {

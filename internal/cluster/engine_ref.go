@@ -5,16 +5,25 @@ import (
 	"math"
 )
 
-// This file preserves the pre-index engine's full-scan implementations of
-// event selection, rate recomputation, the profiling share, the waiting set
-// and the completion check, verbatim. They are not called by the engine —
-// the indexed paths in engine.go replaced them — but they are the ground
-// truth the index must reproduce exactly: the differential property test
-// (property_test.go) installs Cluster.checkEvent and replays these scans
-// against the indexed engine's state on every event of randomized workloads,
-// asserting float-for-float agreement. Any bookkeeping bug in the active
-// sets, dirty marking or wake heap shows up as a divergence on the exact
-// event where it happens, not as a mysteriously shifted makespan.
+// This file holds full-scan reference implementations of event selection,
+// rate recomputation, the profiling share, the waiting set, the completion
+// check and the stored completion deadlines. They are not called by the
+// engine — the indexed paths in engine.go replaced them — but they are the
+// ground truth the index must reproduce exactly: the differential property
+// test (property_test.go) installs Cluster.checkEvent and replays these
+// scans against the indexed engine's state on every event of randomized
+// workloads, asserting float-for-float agreement. Any bookkeeping bug in the
+// active sets, dirty marking, wake heap or deadline heap shows up as a
+// divergence on the exact event where it happens, not as a mysteriously
+// shifted makespan.
+//
+// Since the settle-on-rate-change refactor the scans read the SETTLED state:
+// a completion candidate is settledAt + remaining/rate (an absolute
+// deadline), computed with exactly the expressions setAppDeadline /
+// setForeignDeadline use, so the heap top must still match a fresh full scan
+// float-for-float. The per-event re-integration semantics of the pre-settle
+// engine live on in the property test's shadow integrator, which bounds the
+// trajectory difference by a documented epsilon instead of bit equality.
 
 // refProfilingShare is the full-apps-scan profiling share.
 func (c *Cluster) refProfilingShare() float64 {
@@ -32,8 +41,12 @@ func (c *Cluster) refProfilingShare() float64 {
 
 // refNextEventDt is the full-scan event selection: every app, every foreign
 // task, the pending head, the node-event head and the next trace sample.
-// It reads trace.nextSampleTime through a side-effect-free copy of the
-// clamp, since the engine's own call already advanced the stored instant.
+// Completion candidates are absolute deadlines recomputed from the settled
+// state with the exact expressions setAppDeadline/setForeignDeadline use, so
+// the engine's heap-top pick must agree float-for-float (dt = deadline - now
+// is monotone in the deadline, so min-of-dt equals dt-of-min). It reads
+// trace.nextSampleTime through a side-effect-free copy of the clamp, since
+// the engine's own call already advanced the stored instant.
 func (c *Cluster) refNextEventDt(share float64) (float64, bool) {
 	const tiny = 1e-9
 	best := math.Inf(1)
@@ -42,7 +55,7 @@ func (c *Cluster) refNextEventDt(share float64) (float64, bool) {
 		case StateProfiling:
 			rate := a.Job.Bench.ScanRate * c.cfg.ProfilingRateFactor * share
 			if rate > 0 && a.profileLeft > 0 {
-				if dt := a.profileLeft / rate; dt < best {
+				if dt := a.settledAt + a.profileLeft/rate - c.now; dt < best {
 					best = dt
 				}
 			}
@@ -52,7 +65,7 @@ func (c *Cluster) refNextEventDt(share float64) (float64, bool) {
 					best = dt
 				}
 			} else if r := appRate(a); r > tiny {
-				if dt := a.RemainingGB / r; dt < best {
+				if dt := a.settledAt + a.RemainingGB/r - c.now; dt < best {
 					best = dt
 				}
 			}
@@ -60,7 +73,7 @@ func (c *Cluster) refNextEventDt(share float64) (float64, bool) {
 	}
 	for _, f := range c.foreign {
 		if !f.done && f.rate > tiny {
-			if dt := f.remaining / f.rate; dt < best {
+			if dt := f.settledAt + f.remaining/f.rate - c.now; dt < best {
 				best = dt
 			}
 		}
@@ -187,6 +200,55 @@ func (c *Cluster) refCheckRates() string {
 			if f.rate != want {
 				return fmt.Sprintf("node %d foreign %q rate %v, full recompute %v", n.ID, f.Name, f.rate, want)
 			}
+		}
+	}
+	return ""
+}
+
+// refCheckDeadlines recomputes every stored completion deadline from the
+// settled state — the same expressions setAppDeadline/setForeignDeadline
+// evaluate — and returns the first divergence, or "" when every stored
+// deadline is bit-identical to a full recompute. It also pins the settle
+// bookkeeping itself: no settle point may lie in the future. Like
+// refCheckRates it must run in the window after refreshDeadlines and before
+// advance.
+func (c *Cluster) refCheckDeadlines(share float64) string {
+	const tiny = 1e-9
+	for _, a := range c.apps {
+		if a.settledAt > c.now {
+			return fmt.Sprintf("app %d settled at %v, ahead of the clock %v", a.ID, a.settledAt, c.now)
+		}
+		want := math.Inf(1)
+		switch a.State {
+		case StateProfiling:
+			rate := a.Job.Bench.ScanRate * c.cfg.ProfilingRateFactor * share
+			if rate > 0 && a.profileLeft > 0 {
+				want = a.settledAt + a.profileLeft/rate
+			}
+		case StateRunning:
+			if a.startupUntil <= c.now {
+				if r := appRate(a); r > tiny {
+					want = a.settledAt + a.RemainingGB/r
+				}
+			}
+		}
+		if a.State != StateDone && a.deadline != want {
+			return fmt.Sprintf("app %d (%v) deadline %v, full recompute %v", a.ID, a.State, a.deadline, want)
+		}
+	}
+	for _, f := range c.foreign {
+		if f.done {
+			continue
+		}
+		if f.settledAt > c.now {
+			return fmt.Sprintf("foreign %q settled at %v, ahead of the clock %v", f.Name, f.settledAt, c.now)
+		}
+		want := math.Inf(1)
+		if f.rate > tiny {
+			want = f.settledAt + f.remaining/f.rate
+		}
+		if f.deadline != want {
+			return fmt.Sprintf("foreign %q deadline %v, full recompute %v", f.Name, f.deadline, want)
 		}
 	}
 	return ""

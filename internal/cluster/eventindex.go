@@ -16,15 +16,21 @@ import "math"
 //     startup expiries live in the lazy-deletion min-heap below.
 //
 //   - Rate-driven completions — profiling apps, running apps, foreign
-//     tasks — have deadlines of the form remaining/rate, where remaining is
-//     re-integrated with an explicit floating-point subtraction on every
-//     event. Those deadlines therefore move by an ulp or two each iteration,
-//     so a heap key recorded at push time drifts away from the freshly
-//     computed scan value and would eventually pick a different event dt.
-//     Reproducibility is a hard invariant here (golden regression tests pin
-//     the engine bit-for-bit), so these candidates are *scanned* — but only
-//     over the compact active sets (active, profiling, activeForeign), which
-//     are bounded by in-flight work rather than stream length.
+//     tasks — have deadlines of the form settledAt + remaining/rate. Progress
+//     is integrated settle-on-rate-change: remaining is exact at the entity's
+//     last settle point and is brought forward in ONE multiply when the next
+//     rate change (spawn, grow, kill, foreign arrival/completion, node join/
+//     fail, paging transition, startup expiry, profiling-share change)
+//     actually arrives, instead of an explicit subtraction on every event.
+//     Between settle points (settledAt, remaining, rate) are all constants,
+//     so the absolute deadline is a stable, reproducible float: it can be
+//     registered on the completion heap below and trusted verbatim until the
+//     next rate change re-registers it. The pre-settle engine re-integrated
+//     remaining every event, which moved the deadline by an ulp or two per
+//     iteration and made heap keys drift from fresh scan values; that is why
+//     completions used to be scanned, and why switching to settle-based
+//     integration deliberately broke bit-for-bit agreement with the PR1-5
+//     goldens (re-captured once, see README "Engine internals").
 //
 // The same change-proportionality applies to rate recomputation: rates are
 // deterministic functions of node-local state, so a node whose executors,
@@ -134,20 +140,257 @@ func (c *Cluster) wakeExpiredNodes() {
 	}
 }
 
+// completionEntry is one scheduled completion: the app (or foreign task, when
+// app is nil) is expected to finish at absolute time at. seq is the push
+// counter, breaking ties between equal deadlines so pops stay FIFO in
+// registration order and heap compaction cannot reorder same-time events.
+type completionEntry struct {
+	at  float64
+	seq uint64
+	app *App
+	f   *ForeignTask
+}
+
+// completionHeap is a lazy-deletion min-heap of completion deadlines ordered
+// by (at, seq), with the same one-directional invariant as the wake heap: an
+// entry is live only while its entity's stored deadline still equals the
+// entry's time (and the entity is not already done), and whenever an entity
+// holds a finite deadline an entry with exactly that time is somewhere in the
+// heap. Re-registering a deadline just pushes a fresh entry; stale ones are
+// discarded when they surface at the top, or swept out by compact once they
+// dominate the slice.
+type completionHeap []completionEntry
+
+// before is the heap order: earlier deadline first, push order among equals.
+func (h completionHeap) before(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+// push adds a completion entry.
+func (h *completionHeap) push(e completionEntry) {
+	*h = append(*h, e)
+	i := len(*h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h.before(parent, i) {
+			break
+		}
+		(*h)[parent], (*h)[i] = (*h)[i], (*h)[parent]
+		i = parent
+	}
+}
+
+// pop removes and returns the earliest entry; callers must check ok.
+func (h *completionHeap) pop() (completionEntry, bool) {
+	if len(*h) == 0 {
+		return completionEntry{}, false
+	}
+	top := (*h)[0]
+	last := len(*h) - 1
+	(*h)[0] = (*h)[last]
+	(*h)[last] = completionEntry{}
+	*h = (*h)[:last]
+	h.siftDown(0)
+	return top, true
+}
+
+// siftDown restores the heap order below index i.
+func (h *completionHeap) siftDown(i int) {
+	n := len(*h)
+	for {
+		left, right := 2*i+1, 2*i+2
+		smallest := i
+		if left < n && h.before(left, smallest) {
+			smallest = left
+		}
+		if right < n && h.before(right, smallest) {
+			smallest = right
+		}
+		if smallest == i {
+			return
+		}
+		(*h)[i], (*h)[smallest] = (*h)[smallest], (*h)[i]
+		i = smallest
+	}
+}
+
+// stale reports whether the entry no longer speaks for its entity: the
+// stored deadline moved (a later settle re-registered it) or the entity
+// already completed.
+func (e completionEntry) stale() bool {
+	if e.app != nil {
+		return e.app.deadline != e.at || e.app.State == StateDone
+	}
+	return e.f.deadline != e.at || e.f.done
+}
+
+// compact drops every stale entry and re-heapifies in place. Pop order is
+// fully determined by (at, seq), so rebuilding cannot reorder events.
+func (h *completionHeap) compact() {
+	w := 0
+	for _, e := range *h {
+		if !e.stale() {
+			(*h)[w] = e
+			w++
+		}
+	}
+	clear((*h)[w:])
+	*h = (*h)[:w]
+	for i := w/2 - 1; i >= 0; i-- {
+		h.siftDown(i)
+	}
+}
+
+// settleApp integrates the app's progress from its last settle point to the
+// current instant. Every rate feeding the integral has been constant since
+// settledAt — settle points are exactly the rate changes — so one multiply
+// is the whole integral. Idempotent at a given instant, and must run BEFORE
+// any of the app's rates are reassigned or its progress fields are read or
+// mutated at the current time.
+func (c *Cluster) settleApp(a *App) {
+	if a.settledAt == c.now {
+		return
+	}
+	dt := c.now - a.settledAt
+	switch a.State {
+	case StateProfiling:
+		a.profileLeft -= a.Job.Bench.ScanRate * c.cfg.ProfilingRateFactor * c.lastShare * dt
+	case StateRunning:
+		if r := appRate(a); r > 0 {
+			a.RemainingGB -= r * dt
+		}
+	}
+	a.settledAt = c.now
+}
+
+// settleForeign is settleApp for a foreign co-runner.
+func (c *Cluster) settleForeign(f *ForeignTask) {
+	if f.settledAt == c.now || f.done {
+		return
+	}
+	f.remaining -= f.rate * (c.now - f.settledAt)
+	f.settledAt = c.now
+}
+
+// touchApp queues the app for a deadline refresh at the end of the current
+// iteration (refreshDeadlines). Idempotent per iteration.
+func (c *Cluster) touchApp(a *App) {
+	if !a.touched {
+		a.touched = true
+		c.touchedApps = append(c.touchedApps, a)
+	}
+}
+
+// touchForeign is touchApp for a foreign co-runner.
+func (c *Cluster) touchForeign(f *ForeignTask) {
+	if !f.touched {
+		f.touched = true
+		c.touchedForeign = append(c.touchedForeign, f)
+	}
+}
+
+// setAppDeadline recomputes the app's absolute completion deadline from its
+// settled state and registers it on the completion heap when it moved. The
+// expressions mirror refNextEventDt exactly — the stored deadline must be the
+// same float a fresh scan would compute.
+func (c *Cluster) setAppDeadline(a *App, share float64) {
+	const tiny = 1e-9
+	at := math.Inf(1)
+	switch a.State {
+	case StateProfiling:
+		rate := a.Job.Bench.ScanRate * c.cfg.ProfilingRateFactor * share
+		if rate > 0 && a.profileLeft > 0 {
+			at = a.settledAt + a.profileLeft/rate
+		}
+	case StateRunning:
+		// During startup the wake heap owns the next event; the completion
+		// deadline registers once the gate expires and rates come alive.
+		if a.startupUntil <= c.now {
+			if r := appRate(a); r > tiny {
+				at = a.settledAt + a.RemainingGB/r
+			}
+		}
+	}
+	if at != a.deadline {
+		a.deadline = at
+		if !math.IsInf(at, 1) {
+			c.completionSeq++
+			c.completions.push(completionEntry{at: at, seq: c.completionSeq, app: a})
+		}
+	}
+}
+
+// setForeignDeadline is setAppDeadline for a foreign co-runner.
+func (c *Cluster) setForeignDeadline(f *ForeignTask) {
+	const tiny = 1e-9
+	at := math.Inf(1)
+	if !f.done && f.rate > tiny {
+		at = f.settledAt + f.remaining/f.rate
+	}
+	if at != f.deadline {
+		f.deadline = at
+		if !math.IsInf(at, 1) {
+			c.completionSeq++
+			c.completions.push(completionEntry{at: at, seq: c.completionSeq, f: f})
+		}
+	}
+}
+
+// refreshDeadlines runs once per event-loop iteration, after rates are fresh
+// and the profiling share is known: it settles the profiling set when the
+// share moved (the share is a rate too — it was constant over the elapsed
+// interval and changes only when the profiling set changes), then recomputes
+// the deadline of every entity touched this iteration. When stale entries
+// dominate the heap it is compacted, keeping memory proportional to live
+// deadlines rather than total pushes.
+func (c *Cluster) refreshDeadlines(share float64) {
+	if share != c.lastShare {
+		for _, a := range c.profiling {
+			c.settleApp(a)
+			c.touchApp(a)
+		}
+		c.lastShare = share
+	}
+	for _, a := range c.touchedApps {
+		a.touched = false
+		c.setAppDeadline(a, share)
+	}
+	c.touchedApps = c.touchedApps[:0]
+	for _, f := range c.touchedForeign {
+		f.touched = false
+		c.setForeignDeadline(f)
+	}
+	c.touchedForeign = c.touchedForeign[:0]
+	if live := len(c.active) + len(c.activeForeign); len(c.completions) > 64 && len(c.completions) > 4*live {
+		c.completions.compact()
+	}
+}
+
 // resetIndex rebuilds the event index for a fresh run: empty active sets,
 // zeroed done-counters (pre-registered foreign tasks may already be done
 // from an earlier run on the same cluster), every node dirty (no rates have
-// been computed for this run), and no pending wake-ups.
+// been computed for this run), and no pending wake-ups or deadlines.
 func (c *Cluster) resetIndex() {
 	c.active = c.active[:0]
 	c.profiling = c.profiling[:0]
 	c.doneApps = 0
 	c.activeForeign = c.activeForeign[:0]
 	c.doneForeign = 0
+	c.completions = c.completions[:0]
+	c.completionSeq = 0
+	c.touchedApps = c.touchedApps[:0]
+	c.touchedForeign = c.touchedForeign[:0]
+	c.lastShare = 1
 	for _, f := range c.foreign {
 		if f.done {
 			c.doneForeign++
 		} else {
+			f.settledAt = c.now
+			f.deadline = math.Inf(1)
+			f.touched = false
 			c.activeForeign = append(c.activeForeign, f)
 		}
 	}

@@ -127,14 +127,14 @@ func (n *Node) ReservedGB() float64 {
 	return s
 }
 
-// ActualGB sums true memory use. Note the long-standing modeling quirk: by
-// default a completed foreign task releases its CPU demand (CPUDemand checks
-// done) but its working set stays resident for the rest of the run — only
-// node failure clears it — and existing goldens depend on those rates.
-// Config.ReleaseForeignMem opts into the more faithful behaviour: a finished
-// co-runner's working set leaves both the reserved and actual sums, so the
-// node can un-page once its foreign guest is gone. Either way a foreign
-// completion marks the node dirty, so the rate bookkeeping stays exact.
+// ActualGB sums true memory use. Under Config.ReleaseForeignMem (the default
+// since the settle-engine golden re-capture) a finished co-runner's working
+// set leaves both the reserved and actual sums, so the node can un-page once
+// its foreign guest is gone. Clearing the flag restores the historical
+// modeling quirk: a completed foreign task releases its CPU demand (CPUDemand
+// checks done) but its working set stays resident for the rest of the run —
+// only node failure clears it. Either way a foreign completion marks the
+// node dirty, so the rate bookkeeping stays exact.
 func (n *Node) ActualGB() float64 {
 	var s float64
 	for _, e := range n.Executors {
@@ -207,6 +207,13 @@ type ForeignTask struct {
 	remaining float64
 	rate      float64
 	done      bool
+	// settledAt / deadline / touched mirror the App fields of the same
+	// names: remaining is exact at settledAt, deadline is the absolute
+	// completion time registered on the completion heap (+Inf when none),
+	// touched marks a pending deadline refresh.
+	settledAt float64
+	deadline  float64
+	touched   bool
 	// StartTime and DoneTime are simulation timestamps.
 	StartTime float64
 	DoneTime  float64

@@ -1,6 +1,8 @@
 package cluster
 
 import (
+	"fmt"
+	"math"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -239,6 +241,100 @@ func (s *diffScheduler) Schedule(c *Cluster) {
 	}
 }
 
+// shadowIntegrator replays the pre-settle engine's per-event integration of
+// remaining work alongside the settle-based engine. The engine brings an
+// entity's progress forward in ONE multiply when its rate actually changes
+// (remaining -= rate * (now - settledAt)); the shadow subtracts rate*dt on
+// EVERY event, exactly like the PR4 engine did. Both follow the same
+// piecewise-constant rate trajectory, so mathematically they agree; in floats
+// they differ by reassociation only — computing r*(dt1+...+dtk) as one product
+// versus k fused subtract-multiplies. Each step contributes O(ulp) error:
+// rounding of r*dt_i (~ulp(remaining) ≈ 1.4e-14 at 100 GB) plus the engine's
+// now - settledAt cancellation (~ulp(now) * r ≈ 4e-13 at t=20000s, r=0.1).
+// With at most a few thousand events between an app's settle points the drift
+// is bounded well under 1e-8 GB; the check uses tol = 1e-6 absolute + 1e-9
+// relative, three orders of magnitude of headroom while still far below any
+// physically meaningful amount of work (the engine's own completion epsilon
+// is 1e-6 GB). This is the one deliberately non-exact check in the
+// differential harness — everything else (rates, deadlines, dt, share,
+// waiting set) must agree bit-for-bit.
+//
+// Comparisons happen at settle points only (a.settledAt == now, the instant
+// the engine's value is current), and are skipped — with a re-anchor — across
+// events that mutate remaining work outside rate integration: executor kill
+// charge-backs (detected via the kill counters) and state transitions (the
+// profiling-completion ContributeGB subtraction).
+type shadowIntegrator struct {
+	c       *Cluster
+	apps    map[*App]float64
+	state   map[*App]AppState
+	foreign map[*ForeignTask]float64
+	kills   int
+}
+
+func newShadow(c *Cluster) *shadowIntegrator {
+	return &shadowIntegrator{
+		c:       c,
+		apps:    map[*App]float64{},
+		state:   map[*App]AppState{},
+		foreign: map[*ForeignTask]float64{},
+	}
+}
+
+// step runs inside the checkEvent hook (rates fresh, advance(dt) about to
+// run): it compares freshly settled entities against the shadow trajectory,
+// re-anchors at every settle point, then integrates rate*dt for the upcoming
+// interval. Returns "" or a description of the first divergence.
+func (s *shadowIntegrator) step(dt float64) string {
+	const tiny = 1e-9
+	kills := s.c.totalOOM + s.c.totalFailKills + s.c.totalPreemptKills
+	killed := kills != s.kills
+	s.kills = kills
+	for _, a := range s.c.active {
+		if a.settledAt == s.c.now {
+			prev, seen := s.apps[a]
+			if seen && !killed && s.state[a] == StateRunning && a.State == StateRunning {
+				tol := 1e-6 + 1e-9*math.Abs(a.RemainingGB)
+				if math.Abs(prev-a.RemainingGB) > tol {
+					return fmt.Sprintf("app %d: settled remaining %.12g GB, shadow per-event integral %.12g GB (diff %.3g > tol %.3g)",
+						a.ID, a.RemainingGB, prev, math.Abs(prev-a.RemainingGB), tol)
+				}
+			}
+			s.apps[a] = a.RemainingGB
+		}
+		s.state[a] = a.State
+		if a.State == StateRunning && a.startupUntil <= s.c.now {
+			if r := appRate(a); r > tiny {
+				if v, seen := s.apps[a]; seen {
+					s.apps[a] = v - r*dt
+				}
+			}
+		}
+	}
+	for _, f := range s.c.activeForeign {
+		if f.done {
+			continue
+		}
+		if f.settledAt == s.c.now {
+			prev, seen := s.foreign[f]
+			if seen {
+				tol := 1e-6 + 1e-9*math.Abs(f.remaining)
+				if math.Abs(prev-f.remaining) > tol {
+					return fmt.Sprintf("foreign %q: settled remaining %.12g s, shadow per-event integral %.12g s (diff %.3g > tol %.3g)",
+						f.Name, f.remaining, prev, math.Abs(prev-f.remaining), tol)
+				}
+			}
+			s.foreign[f] = f.remaining
+		}
+		if f.rate > tiny {
+			if v, seen := s.foreign[f]; seen {
+				s.foreign[f] = v - f.rate*dt
+			}
+		}
+	}
+	return ""
+}
+
 // TestIndexedEngineMatchesScanReference is the differential property test
 // for the event index: on seeded randomized workloads — mixed fleets, node
 // events, tenant classes, preemption, foreign tasks, profiling, traces — it
@@ -246,7 +342,9 @@ func (s *diffScheduler) Schedule(c *Cluster) {
 // reference paths (engine_ref.go) against the indexed engine's state on
 // every event, requiring exact (==, not approximate) agreement of the
 // profiling share, the chosen event dt, the completion check, the waiting
-// set and every stored rate.
+// set, every stored rate and every stored completion deadline. The one
+// approximate check is the shadow per-event integrator (see
+// shadowIntegrator), which bounds the settle-vs-per-event float drift.
 func TestIndexedEngineMatchesScanReference(t *testing.T) {
 	for seed := int64(0); seed < 25; seed++ {
 		r := rand.New(rand.NewSource(seed))
@@ -304,6 +402,7 @@ func TestIndexedEngineMatchesScanReference(t *testing.T) {
 			}
 		}
 		events := 0
+		shadow := newShadow(c)
 		c.checkEvent = func(share, dt float64, ok bool) {
 			events++
 			if ref := c.refProfilingShare(); share != ref {
@@ -314,6 +413,12 @@ func TestIndexedEngineMatchesScanReference(t *testing.T) {
 				t.Fatalf("seed %d event %d: next event dt (%v,%v), reference (%v,%v)", seed, events, dt, ok, refDt, refOK)
 			}
 			if diff := c.refCheckRates(); diff != "" {
+				t.Fatalf("seed %d event %d: %s", seed, events, diff)
+			}
+			if diff := c.refCheckDeadlines(share); diff != "" {
+				t.Fatalf("seed %d event %d: %s", seed, events, diff)
+			}
+			if diff := shadow.step(dt); diff != "" {
 				t.Fatalf("seed %d event %d: %s", seed, events, diff)
 			}
 			if got, ref := c.allDone(), c.refAllDone(); got != ref {
@@ -341,6 +446,118 @@ func TestIndexedEngineMatchesScanReference(t *testing.T) {
 			if a.State != StateDone {
 				t.Fatalf("seed %d: app %d finished in state %v", seed, a.ID, a.State)
 			}
+		}
+	}
+}
+
+// scaleDiffScheduler drives the fleet-scale differential run: the whole-node
+// policy of the engine benchmarks plus a contributing profiling plan for
+// larger jobs, so the profiling-share settle path is on the clock too.
+// diffScheduler is not reusable here — its per-event walk of the whole
+// waiting set against every node is fine at 40 apps and pathological once a
+// 20k stream backs up.
+type scaleDiffScheduler struct {
+	fullSpeedScheduler
+}
+
+func (s *scaleDiffScheduler) Prepare(c *Cluster, a *App) ProfilePlan {
+	if a.Job.InputGB >= 10 {
+		return ContributingProfile(a.Job.InputGB * 0.04)
+	}
+	return ProfilePlan{}
+}
+
+// TestIndexedEngineMatchesScanReference20000 runs the differential harness at
+// fleet scale: a 20,000-application classed stream on the 64-node bimodal
+// storm fleet of the scaling benchmarks. The shadow integrator (O(in-flight)
+// per event) runs on every event; the heavy O(total-apps) reference scans are
+// subsampled to every 8th event, which still lands tens of thousands of full
+// scan-vs-index comparisons across the run while keeping the test minutes off
+// the critical path. Excluded under -short.
+func TestIndexedEngineMatchesScanReference20000(t *testing.T) {
+	if testing.Short() {
+		t.Skip("20k-app differential run excluded under -short")
+	}
+	const apps = 20000
+	const nodes = 64
+	fleet, err := workload.BimodalFleet(nodes, workload.BigNode(), workload.LittleNode(), 0.5, rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	arrivals, err := workload.PoissonArrivals(apps, 0.018, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tagged, err := workload.TagArrivals(arrivals, workload.LatencyBatchMix(0.3), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewHetero(DefaultConfig(), SpecsFrom(fleet))
+	if err != nil {
+		t.Fatal(err)
+	}
+	span := tagged[len(tagged)-1].At
+	storm, err := StormEvents(nodes, 4, 4, span*0.1, span*0.8, 30, rand.New(rand.NewSource(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.ScheduleNodeEvents(storm...); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := c.AddForeign(i*7, "co-runner", 0.4, 20, 900); err != nil {
+			t.Fatal(err)
+		}
+	}
+	events, checked := 0, 0
+	shadow := newShadow(c)
+	c.checkEvent = func(share, dt float64, ok bool) {
+		events++
+		if diff := shadow.step(dt); diff != "" {
+			t.Fatalf("event %d: %s", events, diff)
+		}
+		if events%8 != 0 {
+			return
+		}
+		checked++
+		if ref := c.refProfilingShare(); share != ref {
+			t.Fatalf("event %d: profiling share %v, reference %v", events, share, ref)
+		}
+		refDt, refOK := c.refNextEventDt(share)
+		if ok != refOK || (ok && dt != refDt) {
+			t.Fatalf("event %d: next event dt (%v,%v), reference (%v,%v)", events, dt, ok, refDt, refOK)
+		}
+		if diff := c.refCheckRates(); diff != "" {
+			t.Fatalf("event %d: %s", events, diff)
+		}
+		if diff := c.refCheckDeadlines(share); diff != "" {
+			t.Fatalf("event %d: %s", events, diff)
+		}
+		if got, ref := c.allDone(), c.refAllDone(); got != ref {
+			t.Fatalf("event %d: allDone %v, reference %v", events, got, ref)
+		}
+		got := c.AppendWaitingApps(nil)
+		ref := c.refWaitingApps()
+		if len(got) != len(ref) {
+			t.Fatalf("event %d: waiting set size %d, reference %d", events, len(got), len(ref))
+		}
+		for i := range got {
+			if got[i] != ref[i] {
+				t.Fatalf("event %d: waiting[%d] = app %d, reference app %d", events, i, got[i].ID, ref[i].ID)
+			}
+		}
+	}
+	res, err := c.RunOpen(Submissions(tagged), &scaleDiffScheduler{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if checked < 1000 {
+		t.Fatalf("only %d subsampled reference checks over %d events; harness misconfigured", checked, events)
+	}
+	for _, a := range res.Apps {
+		if a.State != StateDone {
+			t.Fatalf("app %d finished in state %v", a.ID, a.State)
 		}
 	}
 }

@@ -95,7 +95,7 @@ func TestReleaseForeignMemUnpagesNode(t *testing.T) {
 // The fleet-aware sizing must read the specs of nodes actually free at
 // admission: a little-node fleet needs far more executors than the
 // reference formula assumes, a big-node fleet fewer, and unavailable nodes
-// don't count. Default off keeps the reference formula (goldens).
+// don't count. Clearing the flag keeps the reference formula everywhere.
 func TestFleetAwareSizing(t *testing.T) {
 	b, err := workload.Find("SP.Gmm")
 	if err != nil {

@@ -12,11 +12,13 @@ import (
 	"moespark/internal/workload"
 )
 
-// golden holds per-run reference values captured from the closed-batch
-// engine before the open-system refactor. The refactored engine must
-// reproduce them bit-for-bit (up to the 10 significant digits recorded):
-// Run(jobs, sched) is required to stay a behaviour-preserving wrapper over
-// RunOpen with all submissions at t=0.
+// golden holds per-run reference values for the closed-batch engine. The
+// engine must reproduce them bit-for-bit (up to the 10 significant digits
+// recorded): Run(jobs, sched) is required to stay a behaviour-preserving
+// wrapper over RunOpen with all submissions at t=0. All goldens in this file
+// were re-captured exactly once when the settle-on-rate-change engine landed
+// together with the ReleaseForeignMem/FleetAwareSizing default flips (see
+// README "Engine internals" for why the PR1-5 values could not survive).
 type golden struct {
 	stp, antt, makespan float64
 	oom                 int
@@ -25,12 +27,12 @@ type golden struct {
 
 var closedBatchGoldens = map[string]golden{
 	"pairwise-table4": {
-		stp: 5.775205281, antt: 15.45557912, makespan: 4505.488858, oom: 0,
-		done: []float64{119.09, 532.7014171, 633.4001982, 3505.031984, 780.8306478, 1506.827363, 739.1101982, 904.5921174, 3487.159932, 3720.089663, 1723.913353, 1793.707363, 1722.747363, 1944.940818, 4091.291177, 1909.800119, 4137.245795, 2113.917619, 2176.543773, 2150.297386, 1955.005618, 2788.46749, 4296.782239, 2252.662619, 3272.17992, 2304.173389, 4265.788253, 4505.488858, 2951.633665, 3366.531445},
+		stp: 5.775099224, antt: 15.45625887, makespan: 4507.021926, oom: 0,
+		done: []float64{119.09, 532.7014171, 633.4001982, 3505.031984, 780.8306478, 1506.827363, 739.1101982, 904.5921174, 3487.159932, 3720.91718, 1723.913353, 1793.707363, 1722.747363, 1944.940818, 4091.342495, 1909.800119, 4138.993157, 2113.917619, 2176.543773, 2150.297386, 1955.005618, 2788.46749, 4296.980656, 2252.662619, 3272.17992, 2304.173389, 4267.444002, 4507.021926, 2951.633665, 3366.531445},
 	},
 	"oracle-table4": {
-		stp: 10.8993005, antt: 3.838145892, makespan: 2689.588255, oom: 0,
-		done: []float64{125.7731306, 449.1273863, 426.8298966, 849.6689736, 703.8943823, 2002.756216, 111.6275, 600.6517326, 1058.553124, 833.2340449, 2249.194714, 1285.926766, 789.9540325, 1667.723328, 2562.888239, 489.0304291, 1878.132536, 678.2598365, 923.9561009, 1161.490252, 11.55184977, 2689.588255, 1967.922207, 479.7712676, 2182.816562, 304.9818075, 1419.538794, 2662.678817, 709.8053332, 1359.163078},
+		stp: 10.89921569, antt: 3.838209225, makespan: 2689.653253, oom: 0,
+		done: []float64{125.7731306, 449.1273863, 426.8298966, 849.7120114, 703.8943823, 2002.795936, 111.6275, 600.6517326, 1058.566143, 833.2340449, 2249.257649, 1285.926871, 789.9540325, 1667.728923, 2562.848732, 489.0304291, 1878.369524, 678.2598365, 923.9562108, 1161.500779, 11.55184977, 2689.653253, 1968.076597, 479.7712676, 2182.81943, 304.9818075, 1419.547923, 2662.675159, 709.8053332, 1359.205523},
 	},
 	"moe-l5-seed42": {
 		stp: 9.720532631, antt: 1.134993937, makespan: 590.134085, oom: 0,
@@ -115,10 +117,14 @@ func TestClosedBatchEquivalence(t *testing.T) {
 	checkGolden(t, "isolated-l5-seed42", mix, sched.NewIsolated())
 }
 
-// openGolden holds per-run reference values captured from the open-system
-// engine before the heterogeneous-cluster refactor (per-node specs, node
-// lifecycle events, scored placement). A homogeneous default fleet with no
-// node events must reproduce them bit-for-bit.
+// openGolden holds per-run reference values for the open-system engine on a
+// homogeneous default fleet with no node events; the engine must reproduce
+// them bit-for-bit. Re-captured with the settle-engine + default-flip sweep:
+// FleetAwareSizing now reads free-node capacity at admission, so apps
+// admitted into a busy fleet get smaller executor fleets than the reference
+// formula gave — under the Pairwise scheme that stretches the loaded tail
+// substantially (the old makespan was 1832.87; stragglers admitted at peak
+// now crawl on 1-2 executors).
 type openGolden struct {
 	makespan              float64
 	oom                   int
@@ -128,14 +134,14 @@ type openGolden struct {
 
 var openSystemGoldens = map[string]openGolden{
 	"oracle-poisson80-seed11": {
-		makespan: 1703.331663, oom: 0,
-		meanWait: 0.4486968565, p95: 495.2148337, thrput: 63.52446148,
-		done: []float64{15.81457191, 546.8521394, 379.3690094, 272.8867105, 537.5612417, 358.4781837, 727.9098667, 383.4156746, 535.928136, 432.6498817, 708.2466731, 459.0676997, 554.8949554, 754.5034805, 1159.898369, 1045.289241, 1083.27491, 721.1860577, 785.1834539, 976.5814021, 1269.586152, 1153.87369, 1013.064637, 1265.452975, 1217.010166, 1103.564982, 1209.417948, 1480.369801, 1703.331663, 1640.54495},
+		makespan: 1704.343083, oom: 0,
+		meanWait: 0.06507541559, p95: 502.4435227, thrput: 63.48669284,
+		done: []float64{15.81457191, 546.6221167, 379.3690094, 272.8867105, 518.8516782, 358.4781837, 745.3880652, 383.4156746, 536.2330575, 432.6740017, 707.8188842, 459.0676997, 554.7941554, 754.6050476, 1158.096507, 1138.055366, 1183.44261, 720.7582688, 785.1834539, 976.5814021, 1286.25237, 1156.46113, 1013.480973, 1431.368026, 1216.022009, 1103.452552, 1209.237348, 1479.839544, 1704.343083, 1641.418192},
 	},
 	"pairwise-poisson80-seed11": {
-		makespan: 1832.874482, oom: 0,
-		meanWait: 114.4511887, p95: 606.8697646, thrput: 59.02686687,
-		done: []float64{15.81457191, 551.447659, 374.179373, 268.6884133, 477.7373781, 356.5300886, 733.9133105, 384.57845, 596.5220378, 562.523259, 796.6866685, 565.598859, 563.516299, 758.1911831, 1348.212418, 1227.970867, 1087.232123, 1100.013661, 1100.412123, 1367.114644, 1544.865642, 1391.23252, 1241.150867, 1473.683717, 1501.710652, 1360.898695, 1361.419418, 1614.143925, 1832.874482, 1822.544541},
+		makespan: 4781.222602, oom: 0,
+		meanWait: 12.81084063, p95: 1469.266696, thrput: 22.60348906,
+		done: []float64{15.81457191, 556.9167151, 374.179373, 268.6884133, 477.7373781, 356.5300886, 795.9615865, 383.3575207, 533.0797814, 432.5228017, 909.4217891, 458.9164997, 554.9525554, 749.1853766, 4781.222602, 1163.120379, 1082.350677, 808.6727865, 809.0653865, 972.0814021, 1244.77291, 1148.142625, 1011.071205, 1344.068387, 1228.194288, 1160.853825, 1209.417348, 1479.200005, 1723.388122, 3529.465798},
 	},
 }
 
@@ -194,9 +200,13 @@ func TestOpenSystemEquivalence(t *testing.T) {
 }
 
 // tenantsGolden pins a multi-tenant run: a classed Poisson stream under the
-// priority-wrapped Oracle scheme with preemption enabled, captured when
-// priority classes landed. Admission order, preemption decisions and
-// charge-back must stay bit-for-bit reproducible.
+// priority-wrapped Oracle scheme with preemption enabled. Admission order,
+// preemption decisions and charge-back must stay bit-for-bit reproducible.
+// Re-captured with the settle-engine + default-flip sweep: at 200 jobs/hour
+// the fleet is saturated for most of the run, so fleet-aware sizing hands
+// late batch arrivals very small fleets — the batch tail stretches from
+// ~1554 s to ~22356 s and one fewer preemption fires (7, was 8). Latency-class
+// behaviour is nearly unchanged (latWait stays exactly 0).
 var tenantsGolden = struct {
 	makespan          float64
 	preemptKills, oom int
@@ -205,10 +215,10 @@ var tenantsGolden = struct {
 	classes           string // per-app class sequence, L = latency, b = batch
 	done              []float64
 }{
-	makespan: 1554.06805, preemptKills: 8, oom: 0,
-	latP99: 442.7090244, batchP99: 1145.863258, latWait: 0,
+	makespan: 22355.54237, preemptKills: 7, oom: 0,
+	latP99: 452.3734037, batchP99: 16724.25914, latWait: 0,
 	classes: "bbbbbbLbbbLbbbLbbbbLbbbbLbbbLLbbbLLbbbbL",
-	done:    []float64{326.9548549, 245.8397026, 100.8435453, 300.9121256, 363.3193996, 354.6640252, 459.6863443, 199.8301064, 345.308344, 684.0177012, 517.7309101, 946.6359375, 463.0377199, 591.6770931, 593.3028233, 357.3863326, 1212.58876, 1061.096165, 1533.018337, 837.3291439, 473.1501443, 637.5221176, 1073.996204, 1554.06805, 511.2523722, 1079.816785, 528.0992815, 1071.657629, 905.9416862, 792.8753593, 1434.828366, 693.9812541, 1285.128319, 738.5629881, 750.184954, 1295.072867, 1011.964448, 916.1161662, 1216.283259, 1147.846319},
+	done:    []float64{326.9548549, 245.8397026, 100.8435453, 300.9121256, 363.3193996, 354.6640252, 456.5172793, 199.8301064, 345.308344, 707.7958393, 517.7309101, 971.6799148, 463.0377199, 592.2053596, 592.0644949, 357.3863326, 1422.344622, 1624.312893, 3424.270083, 824.1569136, 469.9354793, 599.4823334, 857.1407662, 4985.479116, 511.2523722, 2248.599187, 528.0992815, 1043.352524, 873.6455051, 940.6348853, 22355.54237, 717.7130157, 1687.964923, 738.5443131, 750.179194, 1111.4534, 1074.346133, 867.3116462, 1359.550891, 1335.135678},
 }
 
 // TestTenantsMixGolden locks the classed open-system path (weighted
