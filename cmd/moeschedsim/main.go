@@ -37,6 +37,14 @@
 //	moeschedsim -policy moe -drift growth -rate 60 -apps 60
 //	moeschedsim -policy moe -adapt -drift regimes -rate 90 -apps 60
 //
+// Profiling: -cpuprofile/-memprofile write pprof profiles of the whole run,
+// and -no-serving switches the MoE scheme onto its reference serving paths
+// (no footprint memo, per-app admission gating, linear-scan KNN) for A/B
+// comparison — the optimised and reference paths are bit-identical:
+//
+//	moeschedsim -policy moe -arrivals poisson -rate 80 -apps 10000 -cpuprofile cpu.pprof
+//	moeschedsim -policy moe -no-serving -arrivals poisson -rate 80 -apps 10000 -cpuprofile cpu-ref.pprof
+//
 // -json emits the scenario and queueing results as a single JSON object for
 // machine consumption.
 package main
@@ -47,6 +55,8 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -59,7 +69,7 @@ import (
 	"moespark/internal/workload"
 )
 
-func buildPolicy(name, placer string, seed int64, adapt bool) (*sched.Dispatcher, error) {
+func buildPolicy(name, placer string, seed int64, adapt, noServing bool) (*sched.Dispatcher, error) {
 	rng := rand.New(rand.NewSource(seed))
 	if adapt && name != "moe" {
 		return nil, fmt.Errorf("-adapt selects the feedback-driven MoE pipeline and needs -policy moe, got %q", name)
@@ -81,11 +91,27 @@ func buildPolicy(name, placer string, seed int64, adapt bool) (*sched.Dispatcher
 		if err != nil {
 			return nil, fmt.Errorf("training MoE model: %w", err)
 		}
-		if adapt {
-			d = sched.NewAdaptiveMoE(model, moe.AdaptiveConfig{}, rng)
-		} else {
-			d = sched.NewMoE(model, rng)
+		// -no-serving opts out of every (bit-identical) serving optimisation
+		// — footprint memo, batched admission gating, indexed KNN gate — for
+		// A/B profiling against the reference paths.
+		if noServing {
+			model.SetLinearGate(true)
 		}
+		if adapt {
+			ad := moe.NewAdaptive(model, moe.AdaptiveConfig{})
+			if noServing {
+				ad.DisableMemo()
+			}
+			d = sched.NewMoEPredictor(ad, rng)
+		} else {
+			st := moe.NewStatic(model)
+			if noServing {
+				st = st.WithoutMemo()
+			}
+			d = sched.NewMoEPredictor(st, rng)
+			d.PolicyName = "MoE"
+		}
+		d.NoBatchPrepare = noServing
 	case "quasar":
 		var q *sched.QuasarModel
 		q, err = sched.TrainQuasar(workload.TrainingSet(), rand.New(rand.NewSource(seed+2)))
@@ -352,6 +378,9 @@ func main() {
 		preempt        = flag.Bool("preempt", false, "let high-priority arrivals preempt preemptible executors (requires -classes)")
 		keepForeignMem = flag.Bool("keep-foreign-mem", false, "keep completed co-runners' working sets resident (pre-settle-engine default; opt out of ReleaseForeignMem)")
 		legacySizing   = flag.Bool("legacy-sizing", false, "size executor fleets with the reference formula regardless of free-node capacity (opt out of FleetAwareSizing)")
+		noServing      = flag.Bool("no-serving", false, "opt out of the prediction-serving optimisations (footprint memo, batched admission gating, indexed KNN gate) for A/B profiling (requires -policy moe)")
+		cpuprofile     = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memprofile     = flag.String("memprofile", "", "write a heap profile (after a final GC) to this file at exit")
 		seed           = flag.Int64("seed", 1, "random seed")
 		verbose        = flag.Bool("verbose", false, "print per-application timings")
 		jsonOut        = flag.Bool("json", false, "emit results as a JSON object instead of tables")
@@ -361,6 +390,35 @@ func main() {
 	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "moeschedsim:", err)
 		os.Exit(1)
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fail(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fail(err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memprofile != "" {
+		// Declared after the CPU-profile defer so it runs first (LIFO) and
+		// the CPU profile still captures everything up to normal exit.
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fail(err)
+			}
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fail(err)
+			}
+			f.Close()
+		}()
 	}
 
 	// Validate flag combinations up front so failures never follow partial
@@ -374,6 +432,9 @@ func main() {
 	}
 	if *jsonOut && *verbose {
 		fail(fmt.Errorf("-json already includes per-application records; drop -verbose"))
+	}
+	if *noServing && *policy != "moe" {
+		fail(fmt.Errorf("-no-serving opts out of the MoE serving optimisations and needs -policy moe, got %q", *policy))
 	}
 	mix, err := parseClasses(*classes)
 	if err != nil {
@@ -399,7 +460,7 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	d, err := buildPolicy(*policy, *placer, *seed, *adapt)
+	d, err := buildPolicy(*policy, *placer, *seed, *adapt, *noServing)
 	if err != nil {
 		fail(err)
 	}

@@ -18,6 +18,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"moespark/internal/experiments"
@@ -134,8 +136,42 @@ func main() {
 		seed    = flag.Int64("seed", 1, "random seed")
 		workers = flag.Int("workers", 0, "experiment worker pool (0 = one per CPU; results identical at any width)")
 		list    = flag.Bool("list", false, "list experiment ids and exit")
+		cpuprof = flag.String("cpuprofile", "", "write a CPU profile of the experiment run to this file")
+		memprof = flag.String("memprofile", "", "write a heap profile (after a final GC) to this file at exit")
 	)
 	flag.Parse()
+
+	if *cpuprof != "" {
+		f, err := os.Create(*cpuprof)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "reproduce:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "reproduce:", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memprof != "" {
+		// Declared after the CPU-profile defer so it runs first (LIFO).
+		defer func() {
+			f, err := os.Create(*memprof)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "reproduce:", err)
+				os.Exit(1)
+			}
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "reproduce:", err)
+				os.Exit(1)
+			}
+			f.Close()
+		}()
+	}
 
 	rs := runners()
 	if *list {

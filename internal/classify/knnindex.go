@@ -1,0 +1,169 @@
+package classify
+
+import (
+	"math"
+
+	"moespark/internal/mathx"
+)
+
+// This file implements the KNN gate's nearest-neighbour index: a k-d tree
+// over the training samples that answers K=1 queries without scanning every
+// sample. The index is exact, not approximate — the gate's output feeds the
+// scheduler whose results are pinned bit-for-bit by golden tests, so the
+// indexed query must return the *identical* neighbour (label, distance and
+// equal-distance tie-breaking included) that the linear reference scan in
+// knn_ref.go returns. Three properties make that hold:
+//
+//  1. Candidate distances are computed by the very same code as the
+//     reference scan (mathx.Euclidean, then the bias multiplier), so a
+//     visited sample produces a bit-identical float. The tree only decides
+//     *which* samples are visited, never how they are scored.
+//
+//  2. Ties break by insertion order. The reference scan's stable sort keeps
+//     the first-inserted sample among equal distances; the tree replaces the
+//     running best only on a strictly smaller distance or an exactly equal
+//     distance with a smaller insertion index, which selects the same
+//     sample regardless of traversal order.
+//
+//  3. Pruning is conservative. A subtree is skipped only when its lower
+//     bound strictly exceeds the running best with a small relative safety
+//     margin (kdPruneMargin), so float rounding in the bound can only cause
+//     extra visits, never a missed minimum; and a bound exactly equal to the
+//     best never prunes, because the subtree could hold an equal-distance
+//     sample with a smaller insertion index.
+//
+// Under a biased query (PredictBiased) every distance is scaled by
+// bias(label) before ranking, so the geometric bound |x[axis]-split| is
+// multiplied by the smallest bias over the labels present in the training
+// set — a valid lower bound for whatever label the subtree holds. The tree
+// is rebuilt eagerly on Fit and Add (never lazily at query time), keeping
+// queries read-only and therefore safe under the concurrent experiment
+// runner, exactly like the scan path they replace.
+
+// kdPruneMargin is the relative slack added to the running-best distance
+// before a subtree may be pruned. Lower bounds and candidate distances are
+// rounded differently (a single-axis subtraction vs a full Euclidean sum),
+// so an exact comparison could prune a subtree whose true minimum ties or
+// undercuts the best by less than one ulp; the margin turns that risk into a
+// few extra node visits.
+const kdPruneMargin = 1e-9
+
+// kdNode is one k-d tree node: the sample it stores (by insertion index into
+// KNN.samples, which doubles as the tie-break rank), its split axis, and its
+// children as indices into the flat node slice (-1 for none).
+type kdNode struct {
+	sample      int32
+	left, right int32
+	axis        int32
+}
+
+// kdTree is an immutable nearest-neighbour index over a KNN training set.
+// It holds no sample data of its own — nodes reference KNN.samples by index
+// — so clones of a fitted KNN share the tree until one of them mutates and
+// rebuilds its own.
+type kdTree struct {
+	nodes []kdNode
+	root  int32
+}
+
+// buildKD constructs the tree over samples[0..n). The build is
+// deterministic: the split axis cycles with depth, and the median is chosen
+// after sorting by (coordinate, insertion index), so equal coordinates order
+// by insertion and every build over the same samples yields the same tree.
+func buildKD(samples []Sample) *kdTree {
+	if len(samples) == 0 {
+		return nil
+	}
+	dim := len(samples[0].X)
+	if dim == 0 {
+		return nil
+	}
+	order := make([]int32, len(samples))
+	for i := range order {
+		order[i] = int32(i)
+	}
+	t := &kdTree{nodes: make([]kdNode, 0, len(samples))}
+	t.root = t.build(samples, order, 0, dim)
+	return t
+}
+
+// build recursively splits one index range and returns the subtree's node
+// index.
+func (t *kdTree) build(samples []Sample, order []int32, depth, dim int) int32 {
+	if len(order) == 0 {
+		return -1
+	}
+	axis := depth % dim
+	insertionSortByAxis(samples, order, axis)
+	m := len(order) / 2
+	// Walk the median left over duplicates of its coordinate so equal
+	// coordinates land in the right subtree: the recursion then never relies
+	// on strict inequality at the split.
+	for m > 0 && samples[order[m-1]].X[axis] == samples[order[m]].X[axis] {
+		m--
+	}
+	n := int32(len(t.nodes))
+	t.nodes = append(t.nodes, kdNode{sample: order[m], axis: int32(axis), left: -1, right: -1})
+	left := t.build(samples, order[:m], depth+1, dim)
+	right := t.build(samples, order[m+1:], depth+1, dim)
+	t.nodes[n].left = left
+	t.nodes[n].right = right
+	return n
+}
+
+// insertionSortByAxis orders the index slice by the samples' coordinate on
+// one axis, insertion index breaking ties. Training sets are small (tens to
+// a few hundred samples) and the recursion sorts ever-shorter ranges, so an
+// allocation-free insertion sort beats sort.Slice here.
+func insertionSortByAxis(samples []Sample, order []int32, axis int) {
+	for i := 1; i < len(order); i++ {
+		for j := i; j > 0; j-- {
+			a, b := order[j], order[j-1]
+			va, vb := samples[a].X[axis], samples[b].X[axis]
+			if va > vb || (va == vb && a > b) {
+				break
+			}
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+}
+
+// nearest returns the insertion index and (possibly biased) distance of the
+// query's nearest neighbour — the exact sample the reference scan would
+// select. minBias must be the smallest bias(label) over all labels present
+// (1 for an unbiased query); it scales the geometric pruning bound so that
+// it remains a lower bound for biased distances.
+func (t *kdTree) nearest(samples []Sample, x []float64, bias func(label int) float64, minBias float64) (int, float64) {
+	bestIdx, bestD := int32(-1), math.Inf(1)
+	t.search(samples, x, bias, minBias, t.root, &bestIdx, &bestD)
+	return int(bestIdx), bestD
+}
+
+func (t *kdTree) search(samples []Sample, x []float64, bias func(label int) float64, minBias float64, node int32, bestIdx *int32, bestD *float64) {
+	if node < 0 {
+		return
+	}
+	n := t.nodes[node]
+	s := samples[n.sample]
+	d := mathx.Euclidean(x, s.X)
+	if bias != nil {
+		d *= bias(s.Label)
+	}
+	if d < *bestD || (d == *bestD && n.sample < *bestIdx) {
+		*bestD, *bestIdx = d, n.sample
+	}
+	diff := x[n.axis] - s.X[n.axis]
+	near, far := n.left, n.right
+	if diff >= 0 {
+		near, far = n.right, n.left
+	}
+	t.search(samples, x, bias, minBias, near, bestIdx, bestD)
+	bound := diff
+	if bound < 0 {
+		bound = -bound
+	}
+	bound *= minBias
+	if bound <= *bestD*(1+kdPruneMargin) {
+		t.search(samples, x, bias, minBias, far, bestIdx, bestD)
+	}
+}

@@ -1,0 +1,159 @@
+package classify
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randomSamples generates a training set designed to stress the index:
+// clustered points, exact duplicates (equal-distance ties) and grid-aligned
+// coordinates (equal single-axis splits), across a handful of labels.
+func randomSamples(rng *rand.Rand, n, dim int) []Sample {
+	samples := make([]Sample, n)
+	for i := range samples {
+		x := make([]float64, dim)
+		switch rng.Intn(3) {
+		case 0: // continuous
+			for j := range x {
+				x[j] = rng.Float64()
+			}
+		case 1: // grid-aligned: forces equal coordinates and distance ties
+			for j := range x {
+				x[j] = float64(rng.Intn(4)) * 0.25
+			}
+		default: // duplicate of an earlier sample, possibly relabelled
+			if i == 0 {
+				for j := range x {
+					x[j] = rng.Float64()
+				}
+			} else {
+				copy(x, samples[rng.Intn(i)].X)
+			}
+		}
+		samples[i] = Sample{X: x, Label: rng.Intn(4)}
+	}
+	return samples
+}
+
+// TestKNNIndexMatchesLinear is the differential property test pinning the
+// indexed K=1 path to the linear reference scan (the engine_ref.go pattern):
+// over randomized training sets full of duplicates and ties, with and
+// without label biases (including biases below 1, which shrink distances and
+// stress the pruning bound), every query must agree exactly — same label,
+// bit-identical distance.
+func TestKNNIndexMatchesLinear(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 300; trial++ {
+		n := 1 + rng.Intn(200)
+		dim := 1 + rng.Intn(8)
+		samples := randomSamples(rng, n, dim)
+
+		indexed := NewKNN(1)
+		if err := indexed.Fit(samples); err != nil {
+			t.Fatal(err)
+		}
+		linear := indexed.Clone()
+		linear.Linear = true
+
+		var bias func(label int) float64
+		if trial%2 == 1 {
+			biases := make([]float64, 4)
+			for i := range biases {
+				// Mix of shrinking (<1) and inflating (>1) multipliers.
+				biases[i] = 0.5 + rng.Float64()*2.5
+			}
+			bias = func(label int) float64 { return biases[label] }
+		}
+
+		for q := 0; q < 30; q++ {
+			x := make([]float64, dim)
+			if q%3 == 0 && n > 0 {
+				copy(x, samples[rng.Intn(n)].X) // exact hit: distance 0 ties
+			} else {
+				for j := range x {
+					x[j] = rng.Float64() * 1.2
+				}
+			}
+			li, ld, lerr := linear.predict(x, bias)
+			ii, id, ierr := indexed.predict(x, bias)
+			if (lerr == nil) != (ierr == nil) {
+				t.Fatalf("trial %d query %d: error mismatch linear=%v indexed=%v", trial, q, lerr, ierr)
+			}
+			if li != ii || ld != id {
+				t.Fatalf("trial %d query %d (n=%d dim=%d bias=%v): linear=(%d, %v) indexed=(%d, %v)",
+					trial, q, n, dim, bias != nil, li, ld, ii, id)
+			}
+		}
+
+		// Mutating mid-stream (the adaptive gate's TeachGate path) must keep
+		// the two in lockstep: Add rebuilds the index eagerly.
+		extra := make([]float64, dim)
+		for j := range extra {
+			extra[j] = rng.Float64()
+		}
+		s := Sample{X: extra, Label: rng.Intn(4)}
+		if err := indexed.Add(s); err != nil {
+			t.Fatal(err)
+		}
+		if err := linear.Add(s); err != nil {
+			t.Fatal(err)
+		}
+		li, ld, _ := linear.predict(extra, bias)
+		ii, id, _ := indexed.predict(extra, bias)
+		if li != ii || ld != id {
+			t.Fatalf("trial %d post-Add: linear=(%d, %v) indexed=(%d, %v)", trial, li, ld, ii, id)
+		}
+	}
+}
+
+// TestKNNTieBreakInsertionOrder pins the equal-distance tie rule both paths
+// must share: among equidistant neighbours, the first-inserted sample wins.
+// The scheduler's golden outputs depend on this — a different-but-equally-
+// near expert would calibrate a different curve.
+func TestKNNTieBreakInsertionOrder(t *testing.T) {
+	// Four samples at the corners of a square, query at the centre: all
+	// equidistant, labels all distinct. Insertion order decides.
+	samples := []Sample{
+		{X: []float64{0, 0}, Label: 2},
+		{X: []float64{1, 0}, Label: 0},
+		{X: []float64{0, 1}, Label: 3},
+		{X: []float64{1, 1}, Label: 1},
+	}
+	center := []float64{0.5, 0.5}
+	for _, linearMode := range []bool{false, true} {
+		k := NewKNN(1)
+		k.Linear = linearMode
+		if err := k.Fit(samples); err != nil {
+			t.Fatal(err)
+		}
+		label, _, err := k.predict(center, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if label != 2 {
+			t.Errorf("linear=%v: tie broke to label %d, want first-inserted label 2", linearMode, label)
+		}
+		// A later Add of yet another equidistant sample (a duplicate corner,
+		// so its distance is bit-identical) must not steal the tie from the
+		// first-inserted one.
+		if err := k.Add(Sample{X: []float64{1, 1}, Label: 9}); err != nil {
+			t.Fatal(err)
+		}
+		label, _, err = k.predict(center, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if label != 2 {
+			t.Errorf("linear=%v post-Add: tie broke to label %d, want 2", linearMode, label)
+		}
+		// Under a uniform bias the scaled distances still tie; the rule must
+		// hold on the biased path too.
+		label, _, err = k.PredictBiased(center, func(int) float64 { return 1.5 })
+		if err != nil {
+			t.Fatal(err)
+		}
+		if label != 2 {
+			t.Errorf("linear=%v biased: tie broke to label %d, want 2", linearMode, label)
+		}
+	}
+}

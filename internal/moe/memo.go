@@ -1,0 +1,78 @@
+package moe
+
+import (
+	"moespark/internal/features"
+	"moespark/internal/memfunc"
+)
+
+// This file implements the footprint memo: a prediction cache in front of
+// the gate + calibration pipeline, keyed by the complete input identity and
+// validated by a version counter over every piece of mutable state the
+// prediction reads. Arrival streams repeat benchmarks, so admissions keep
+// asking the model the same question; a memo hit answers it without
+// re-running the PCA projection, the KNN gate, the confidence scan over the
+// training programs and the two-point calibration.
+//
+// The memo is exact by construction, never heuristically "fresh enough":
+//
+//   - The key carries everything a prediction is a function of besides model
+//     state — the raw feature vector and both profiling points. Two calls
+//     agreeing on the key and on the epoch are the same pure computation.
+//
+//   - The epoch is bumped by every mutation of the state Predict reads:
+//     Model.AddProgram and Model.TeachGate bump the model's own counter, and
+//     Adaptive adds a counter of its own bumped once per folded-in
+//     observation (error windows and recalibration fits feed gate bias and
+//     coefficient correction). A stale entry is therefore unreachable — any
+//     path that could change the answer has already invalidated the cache.
+//
+// For Static the model epoch never moves during a run (nothing mutates a
+// static model), so the memo survives the whole run; for Adaptive the memo
+// lives between observations, which is exactly the window in which hits are
+// provably bit-identical to recomputation.
+type predictMemo struct {
+	epoch   uint64
+	entries map[memoKey]Prediction
+}
+
+// memoKey is the full input identity of one prediction. All fields are
+// comparable values (the feature vector is an array), so the key works as a
+// Go map key with bit-exact equality — no hashing or tolerance involved.
+type memoKey struct {
+	raw    features.Vector
+	p1, p2 memfunc.Point
+}
+
+// memoLimit bounds the entry count. Distinct keys are bounded by distinct
+// (benchmark, profiling-noise) combinations in a run; noisy streams can in
+// principle produce unbounded distinct keys, so on overflow the memo drops
+// everything and starts over (correctness never depends on an entry being
+// present).
+const memoLimit = 1 << 14
+
+func newPredictMemo() *predictMemo {
+	return &predictMemo{entries: map[memoKey]Prediction{}}
+}
+
+// lookup returns the memoised prediction for the key at the given epoch. A
+// changed epoch empties the memo first: entries computed under older state
+// must never be served.
+func (m *predictMemo) lookup(epoch uint64, key memoKey) (Prediction, bool) {
+	if m.epoch != epoch {
+		m.epoch = epoch
+		clear(m.entries)
+		return Prediction{}, false
+	}
+	p, ok := m.entries[key]
+	return p, ok
+}
+
+// store records a successful prediction computed at the epoch last passed to
+// lookup. Failed predictions are recomputed every time — errors are rare,
+// cheap to rediscover and not worth widening the entry type for.
+func (m *predictMemo) store(key memoKey, p Prediction) {
+	if len(m.entries) >= memoLimit {
+		clear(m.entries)
+	}
+	m.entries[key] = p
+}

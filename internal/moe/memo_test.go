@@ -1,0 +1,311 @@
+package moe
+
+import (
+	"math/rand"
+	"testing"
+
+	"moespark/internal/memfunc"
+	"moespark/internal/workload"
+)
+
+// samePrediction compares two predictions field by field with bit-exact
+// equality (Prediction holds a PCs slice, so == does not apply directly).
+func samePrediction(a, b Prediction) bool {
+	if a.Func != b.Func || a.Uncorrected != b.Uncorrected ||
+		a.FellBack != b.FellBack || a.Recalibrated != b.Recalibrated ||
+		a.Family != b.Family || a.Distance != b.Distance || a.Confident != b.Confident {
+		return false
+	}
+	if len(a.PCs) != len(b.PCs) {
+		return false
+	}
+	for i := range a.PCs {
+		if a.PCs[i] != b.PCs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// memoRequests builds a request stream with repeats: every benchmark is
+// asked twice with identical inputs (the memo-hit case) and once with fresh
+// profiling noise (the distinct-key case).
+func memoRequests(t *testing.T, rng *rand.Rand) []PredictRequest {
+	t.Helper()
+	var reqs []PredictRequest
+	for _, name := range []string{"HB.Sort", "HB.PageRank", "SB.MatrixFact", "SP.Kmeans"} {
+		b, err := workload.Find(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := PredictRequest{Raw: b.Counters(rng), P1: b.ProfilePoint(0.5, rng), P2: b.ProfilePoint(2, rng)}
+		reqs = append(reqs, r, r)
+		reqs = append(reqs, PredictRequest{Raw: b.Counters(rng), P1: b.ProfilePoint(0.5, rng), P2: b.ProfilePoint(2, rng)})
+	}
+	return reqs
+}
+
+// TestModelEpochBumpsOnMutations pins the epoch contract the memo's
+// correctness rests on: every successful model mutation bumps it, failed
+// mutations do not, and a clone starts from the original's count but moves
+// independently.
+func TestModelEpochBumpsOnMutations(t *testing.T) {
+	m := trainedModel(t, 21)
+	if m.Epoch() != 0 {
+		t.Fatalf("fresh model epoch = %d, want 0", m.Epoch())
+	}
+	pcs := m.Programs()[0].PCs
+	if err := m.TeachGate(pcs, memfunc.LinearPower); err != nil {
+		t.Fatal(err)
+	}
+	if m.Epoch() != 1 {
+		t.Fatalf("epoch after TeachGate = %d, want 1", m.Epoch())
+	}
+	if err := m.TeachGate(pcs, memfunc.Family(99)); err == nil {
+		t.Fatal("teaching an invalid family must error")
+	}
+	if m.Epoch() != 1 {
+		t.Fatalf("failed TeachGate bumped the epoch to %d", m.Epoch())
+	}
+	rng := rand.New(rand.NewSource(22))
+	b, err := workload.Find("SB.Hive")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AddProgram(TrainingProgram{
+		Name:     b.FullName(),
+		Features: b.Counters(rng),
+		Curve:    b.CurvePoints(workload.TrainingSweep, rng),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if m.Epoch() != 2 {
+		t.Fatalf("epoch after AddProgram = %d, want 2", m.Epoch())
+	}
+	cp := m.Clone()
+	if cp.Epoch() != 2 {
+		t.Fatalf("clone epoch = %d, want 2", cp.Epoch())
+	}
+	if err := cp.TeachGate(pcs, memfunc.Exponential); err != nil {
+		t.Fatal(err)
+	}
+	if cp.Epoch() != 3 || m.Epoch() != 2 {
+		t.Fatalf("clone mutation: clone epoch %d (want 3), original %d (want 2)", cp.Epoch(), m.Epoch())
+	}
+}
+
+// TestStaticMemoBitIdentical pins the static memo: hits are bit-identical
+// to the memo-free pipeline, and the memo survives arbitrarily many
+// predictions (a static run never bumps the epoch).
+func TestStaticMemoBitIdentical(t *testing.T) {
+	m := trainedModel(t, 23)
+	memoised := NewStatic(m)
+	plain := memoised.WithoutMemo()
+	rng := rand.New(rand.NewSource(24))
+	reqs := memoRequests(t, rng)
+	for pass := 0; pass < 3; pass++ { // repeated passes exercise run-long survival
+		for i, r := range reqs {
+			want, errW := plain.Predict(r.Raw, r.P1, r.P2)
+			got, errG := memoised.Predict(r.Raw, r.P1, r.P2)
+			if (errW == nil) != (errG == nil) {
+				t.Fatalf("pass %d req %d: error mismatch plain=%v memo=%v", pass, i, errW, errG)
+			}
+			if errW == nil && !samePrediction(got, want) {
+				t.Fatalf("pass %d req %d: memoised prediction diverged:\n got %+v\nwant %+v", pass, i, got, want)
+			}
+		}
+	}
+	if n := len(memoised.memo.entries); n == 0 {
+		t.Fatal("static memo never stored an entry")
+	} else if n >= len(reqs) {
+		t.Fatalf("memo has %d entries for %d requests with repeats: dedup not happening", n, len(reqs))
+	}
+	if memoised.memo.epoch != m.Epoch() {
+		t.Fatalf("memo epoch %d drifted from model epoch %d", memoised.memo.epoch, m.Epoch())
+	}
+}
+
+// TestAdaptiveMemoInvalidatesOnEveryMutationPath drives each adaptive
+// mutation path — plain observation fold-back (OnlineLS + error window),
+// enough folds to activate gate reweighting, and a gate-teaching indictment
+// — and checks each one moves the state epoch, while rejected observations
+// move nothing. Throughout, the memoised predictor must agree bit-for-bit
+// with a memo-disabled twin fed the identical sequence.
+func TestAdaptiveMemoInvalidatesOnEveryMutationPath(t *testing.T) {
+	model := adaptTestModel(t)
+	ad := NewAdaptive(model, AdaptiveConfig{})
+	twin := NewAdaptive(model, AdaptiveConfig{})
+	twin.DisableMemo()
+
+	b, err := workload.Find("SB.MatrixFact")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(31))
+	feats := b.Counters(rng)
+	p1 := b.ProfilePoint(0.5, rng)
+	p2 := b.ProfilePoint(2, rng)
+
+	check := func(stage string) {
+		t.Helper()
+		want, errW := twin.Predict(feats, p1, p2)
+		got, errG := ad.Predict(feats, p1, p2)
+		if (errW == nil) != (errG == nil) {
+			t.Fatalf("%s: error mismatch twin=%v memo=%v", stage, errW, errG)
+		}
+		if errW == nil && !samePrediction(got, want) {
+			t.Fatalf("%s: memoised prediction diverged:\n got %+v\nwant %+v", stage, got, want)
+		}
+	}
+	observeBoth := func(o Observation) {
+		ad.Observe(o)
+		twin.Observe(o)
+	}
+
+	check("fresh")
+	base, err := ad.Predict(feats, p1, p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A rejected observation (non-positive actual) mutates nothing: the
+	// epoch must hold and the memo keep serving.
+	before := ad.stateEpoch()
+	observeBoth(Observation{Family: base.Family, Calibrated: base.Func.Family, ActualGB: -1, PredictedGB: 1, RawPredictedGB: 1})
+	if ad.stateEpoch() != before {
+		t.Fatalf("rejected observation moved the epoch %d -> %d", before, ad.stateEpoch())
+	}
+	check("after rejected observation")
+
+	// Path 1: ordinary fold-back into the recalibration fit + error window.
+	// Every accepted observation must move the epoch.
+	for i := 0; i < 10; i++ {
+		before = ad.stateEpoch()
+		raw := 2.0 + float64(i)
+		observeBoth(Observation{
+			Family:         base.Family,
+			Calibrated:     base.Func.Family,
+			AppID:          i,
+			ItemsGB:        raw,
+			PredictedGB:    raw,
+			RawPredictedGB: raw,
+			ActualGB:       0.5 + 2*raw, // systematic miss: drives fit and window
+			Outcome:        OutcomeCompleted,
+		})
+		if ad.stateEpoch() == before {
+			t.Fatalf("accepted observation %d did not move the epoch", i)
+		}
+		check("after fold-back")
+	}
+	rec, err := ad.Predict(feats, p1, p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rec.Recalibrated {
+		t.Fatal("scenario broken: systematic misses did not recalibrate")
+	}
+
+	// Path 2: gate reweighting. The large window errors above push the
+	// selected expert's bias over 1, so the biased gate pass is live; the
+	// memoised path must keep matching the twin through it.
+	if !ad.biasActive() {
+		t.Fatal("scenario broken: window errors did not activate the gate bias")
+	}
+	check("with gate bias active")
+
+	// Path 3: gate teaching. A drifted program misrouted onto the
+	// saturating expert gets indicted by its realised footprint; teaching
+	// mutates the model, which must bump the model epoch itself.
+	drifted := *b
+	drifted.CounterSkew = 0.35
+	dFeats := drifted.Counters(rng)
+	dp1 := drifted.ProfilePoint(0.5, rng)
+	dp2 := drifted.ProfilePoint(2, rng)
+	pred, err := ad.Predict(dFeats, dp1, dp2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pred.Family != memfunc.Exponential {
+		t.Skipf("drifted counters selected %v, not the exponential expert this path needs", pred.Family)
+	}
+	const items = 50.0
+	predicted, err := pred.Func.Eval(items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	modelEpochBefore := ad.model.Epoch()
+	observeBoth(Observation{
+		Features:       dFeats,
+		PCs:            pred.PCs,
+		Family:         pred.Family,
+		Calibrated:     pred.Func.Family,
+		AppID:          100,
+		P1:             dp1,
+		P2:             dp2,
+		ItemsGB:        items,
+		PredictedGB:    predicted,
+		RawPredictedGB: predicted,
+		ActualGB:       drifted.Footprint(items),
+		Outcome:        OutcomeCompleted,
+	})
+	if ad.Taught() != 1 {
+		t.Fatalf("taught %d samples, want 1 (teaching path not exercised)", ad.Taught())
+	}
+	if ad.model.Epoch() == modelEpochBefore {
+		t.Fatal("TeachGate did not bump the model epoch")
+	}
+	check("after gate teaching")
+	feats, p1, p2 = dFeats, dp1, dp2
+	check("drifted request after teaching")
+}
+
+// TestPredictBatchMatchesSequential pins the batch faces of Model, Static
+// and Adaptive to their per-request pipelines, including duplicated requests
+// (the dedup case) and an invalid request mid-batch (the error case).
+func TestPredictBatchMatchesSequential(t *testing.T) {
+	m := trainedModel(t, 41)
+	rng := rand.New(rand.NewSource(42))
+	reqs := memoRequests(t, rng)
+
+	// The reference answers come from a memo-free static predictor.
+	plain := NewStatic(m).WithoutMemo()
+	want := make([]BatchResult, len(reqs))
+	for i, r := range reqs {
+		want[i].Prediction, want[i].Err = plain.Predict(r.Raw, r.P1, r.P2)
+	}
+
+	checkBatch := func(name string, got []BatchResult) {
+		t.Helper()
+		if len(got) != len(want) {
+			t.Fatalf("%s: %d results for %d requests", name, len(got), len(reqs))
+		}
+		for i := range got {
+			if (got[i].Err == nil) != (want[i].Err == nil) {
+				t.Fatalf("%s req %d: error mismatch got=%v want=%v", name, i, got[i].Err, want[i].Err)
+			}
+			if got[i].Err == nil && !samePrediction(got[i].Prediction, want[i].Prediction) {
+				t.Fatalf("%s req %d: batch diverged:\n got %+v\nwant %+v", name, i, got[i].Prediction, want[i].Prediction)
+			}
+		}
+	}
+	checkBatch("Model.PredictBatch", m.PredictBatch(reqs))
+	checkBatch("Static.PredictBatch", NewStatic(m).PredictBatch(reqs))
+	// A fresh adaptive predictor has folded nothing in, so its batch answers
+	// must also equal the static pipeline's.
+	checkBatch("Adaptive.PredictBatch", NewAdaptive(m, AdaptiveConfig{}).PredictBatch(reqs))
+
+	// An infeasible request (profiling points that calibrate for no family)
+	// must fail in the batch exactly where Predict fails, without derailing
+	// its neighbours.
+	bad := reqs[0]
+	bad.P1 = memfunc.Point{X: 1, Y: -5}
+	bad.P2 = memfunc.Point{X: 2, Y: -1}
+	mixed := []PredictRequest{reqs[0], bad, reqs[1]}
+	got := m.PredictBatch(mixed)
+	if got[0].Err != nil || got[2].Err != nil {
+		t.Fatalf("valid neighbours failed: %v, %v", got[0].Err, got[2].Err)
+	}
+	if _, wantErr := plain.Predict(bad.Raw, bad.P1, bad.P2); (got[1].Err == nil) != (wantErr == nil) {
+		t.Fatalf("bad request: batch err %v, sequential err %v", got[1].Err, wantErr)
+	}
+}

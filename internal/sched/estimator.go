@@ -36,6 +36,17 @@ type Estimator interface {
 	Estimate(app *cluster.App) (MemEstimate, bool)
 }
 
+// BatchEstimator is an Estimator that can plan a whole admission wave
+// together (cluster.BatchScheduler, one layer down): PrepareBatch must have
+// exactly the per-app effects and return exactly the plans of calling
+// Prepare on each app in order — including consuming any randomness in the
+// identical per-app order — so the engine's golden outputs are independent
+// of which face the dispatcher uses.
+type BatchEstimator interface {
+	Estimator
+	PrepareBatch(apps []*cluster.App) []cluster.ProfilePlan
+}
+
 // ObservingEstimator is an Estimator that consumes the engine's
 // predicted-vs-actual footprint reports (the cluster.Observer flow): the
 // dispatcher forwards each observed executor outcome so the estimator's
@@ -49,16 +60,67 @@ type ObservingEstimator interface {
 
 // MemEstimate predicts the memory footprint of one application's executor
 // as a function of its data allocation.
+//
+// Almost every estimator's prediction is a concrete calibrated curve, so the
+// estimate stores the memfunc.Func directly and evaluates it in methods —
+// the historical design held two closures instead, which cost four heap
+// allocations per prepared arrival on the admission hot path. Models with no
+// closed-form curve (the ANN baseline) still install closures via
+// closureEstimate.
 type MemEstimate struct {
-	// Footprint returns the predicted footprint (GB) for x GB of items.
-	Footprint func(x float64) float64
-	// Items returns the largest allocation whose predicted footprint stays
-	// within the budget (may be +Inf for bounded curves).
-	Items func(budgetGB float64) float64
+	// fn is the calibrated curve backing the closure-free fast path.
+	fn    memfunc.Func
+	hasFn bool
+
+	// footprintFn/itemsFn are the closure fallback for curveless models.
+	footprintFn func(x float64) float64
+	itemsFn     func(budgetGB float64) float64
 
 	// feedback carries the per-app context an observing estimator needs to
 	// report predicted-vs-actual outcomes; nil for non-observing estimators.
 	feedback *feedback
+}
+
+// funcEstimate wraps a calibrated curve into a MemEstimate without
+// allocating anything.
+func funcEstimate(fn memfunc.Func) MemEstimate { return MemEstimate{fn: fn, hasFn: true} }
+
+// closureEstimate wraps arbitrary footprint/inversion functions into a
+// MemEstimate, for models with no concrete curve.
+func closureEstimate(footprint, items func(float64) float64) MemEstimate {
+	return MemEstimate{footprintFn: footprint, itemsFn: items}
+}
+
+// Footprint returns the predicted footprint (GB) for x GB of items
+// (out-of-domain inputs predict 0).
+func (e MemEstimate) Footprint(x float64) float64 {
+	if e.hasFn {
+		y, err := e.fn.Eval(x)
+		if err != nil {
+			return 0
+		}
+		return y
+	}
+	return e.footprintFn(x)
+}
+
+// Items returns the largest allocation whose predicted footprint stays
+// within the budget (may be +Inf for bounded curves; 0 when the budget is
+// infeasible).
+func (e MemEstimate) Items(budgetGB float64) float64 {
+	if e.hasFn {
+		x, err := e.fn.Invert(budgetGB)
+		if err != nil {
+			return 0
+		}
+		return x
+	}
+	return e.itemsFn(budgetGB)
+}
+
+// valid reports whether the estimate can answer queries.
+func (e MemEstimate) valid() bool {
+	return e.hasFn || (e.footprintFn != nil && e.itemsFn != nil)
 }
 
 // feedback is the per-app observation context the MoE estimator stores
@@ -72,17 +134,28 @@ type feedback struct {
 	family     memfunc.Family // the gate's routing decision
 	calibrated memfunc.Family // the curve family that made the prediction
 	p1, p2     memfunc.Point
-	raw        func(x float64) float64
+	// raw is the uncorrected two-point calibration, stored as the concrete
+	// curve (a closure here was one of the per-arrival allocations).
+	raw memfunc.Func
 	// seq is the estimator-issued app sequence number: unique for the
 	// predictor's lifetime, unlike cluster app IDs, which restart at 0 when
 	// a scheduler is reused on a fresh cluster.
 	seq int
 }
 
+// rawPredict evaluates the uncorrected calibration (0 out of domain).
+func (f *feedback) rawPredict(x float64) float64 {
+	y, err := f.raw.Eval(x)
+	if err != nil {
+		return 0
+	}
+	return y
+}
+
 // estimateOf retrieves a MemEstimate installed by Prepare.
 func estimateOf(app *cluster.App) (MemEstimate, bool) {
 	est, ok := app.Estimate.(MemEstimate)
-	if !ok || est.Footprint == nil || est.Items == nil {
+	if !ok || !est.valid() {
 		return MemEstimate{}, false
 	}
 	return est, true

@@ -205,14 +205,14 @@ func (e *annEstimator) Name() string { return "Unified-ANN" }
 func (e *annEstimator) Prepare(app *cluster.App) cluster.ProfilePlan {
 	raw := app.Job.Bench.Counters(e.rng)
 	remainingCap := app.Job.InputGB
-	app.Estimate = MemEstimate{
-		Footprint: func(x float64) float64 { return e.model.Footprint(raw, x) },
-		Items: func(budget float64) float64 {
+	app.Estimate = closureEstimate(
+		func(x float64) float64 { return e.model.Footprint(raw, x) },
+		func(budget float64) float64 {
 			return invertByBisection(func(x float64) float64 {
 				return e.model.Footprint(raw, x)
 			}, budget, remainingCap)
 		},
-	}
+	)
 	return cluster.ContributingProfile(featureProfileGB)
 }
 

@@ -18,6 +18,7 @@ import (
 	"hash/fnv"
 	"math"
 	"math/rand"
+	"sync"
 
 	"moespark/internal/features"
 	"moespark/internal/memfunc"
@@ -114,12 +115,48 @@ var drivenFeatures = []int{
 	features.BO, features.L2TCM, features.L3TCM, features.CS,
 }
 
+// sigKey is the complete identity Signature is a pure function of: the
+// suite-qualified name (which seeds the per-benchmark offsets), the
+// memory-function family (which sets the driven-counter level), the drift
+// skew and the CPU load. Two Benchmark values agreeing on these fields have
+// bit-identical signatures, so the memo below may serve either.
+type sigKey struct {
+	suite  Suite
+	name   string
+	family memfunc.Family
+	skew   float64
+	cpu    float64
+}
+
+// sigMemo caches computed signatures by benchmark identity. Deriving a
+// signature seeds two fresh PRNGs per call, which dominated the per-arrival
+// admission profile on 100k-app streams (~48 % of the run); repeated
+// arrivals of a catalogue benchmark now pay one map lookup instead. The memo
+// is safe under the concurrent experiment runner (sync.Map) and cannot go
+// stale: the key carries every field the computation reads, so a drifted
+// copy (CounterSkew) or a renamed benchmark simply occupies a new entry, and
+// the entry count stays bounded by the distinct benchmark identities in the
+// process (the 44-program catalogue plus a handful of drift skews).
+var sigMemo sync.Map // sigKey -> features.Vector
+
 // Signature returns the benchmark's noiseless characteristic feature vector.
 // Every feature is centred on a family-specific value (cache counters at the
 // family level, the rest at stable family-hashed positions) with a small
 // per-benchmark offset, reproducing the paper's Figure 16: programs sharing
-// a memory-function family form one tight cluster in feature space.
+// a memory-function family form one tight cluster in feature space. The
+// vector is deterministic per benchmark identity and memoised process-wide.
 func (b *Benchmark) Signature() features.Vector {
+	key := sigKey{suite: b.Suite, name: b.Name, family: b.Truth.Family, skew: b.CounterSkew, cpu: b.CPULoad}
+	if v, ok := sigMemo.Load(key); ok {
+		return v.(features.Vector)
+	}
+	v := b.computeSignature()
+	sigMemo.Store(key, v)
+	return v
+}
+
+// computeSignature derives the signature from scratch (see Signature).
+func (b *Benchmark) computeSignature() features.Vector {
 	famRng := rand.New(rand.NewSource(int64(b.Truth.Family) * 7919))
 	var v features.Vector
 	for i := range v {

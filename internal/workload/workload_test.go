@@ -3,6 +3,7 @@ package workload
 import (
 	"math"
 	"math/rand"
+	"sync"
 	"testing"
 
 	"moespark/internal/memfunc"
@@ -119,6 +120,39 @@ func TestSignatureDeterministicAndClustered(t *testing.T) {
 	if sameDist >= diffDist {
 		t.Errorf("driven feature distances: same-family %v >= cross-family %v", sameDist, diffDist)
 	}
+}
+
+// TestSignatureMemoBitIdentical pins the signature memo's exactness: the
+// memoised vector is bit-identical to a from-scratch derivation, a mutated
+// identity field (CounterSkew, the drift axis) routes to a fresh entry
+// instead of serving the stale one, and concurrent lookups are race-safe
+// (this test runs under -race in CI).
+func TestSignatureMemoBitIdentical(t *testing.T) {
+	b, _ := Find("HB.Sort")
+	if got, want := b.Signature(), b.computeSignature(); got != want {
+		t.Fatalf("memoised signature differs from recomputation:\n got %v\nwant %v", got, want)
+	}
+	drifted := *b
+	drifted.CounterSkew = 0.2
+	if drifted.Signature() == b.Signature() {
+		t.Fatal("drifted copy served the undrifted signature: memo key must include CounterSkew")
+	}
+	if got, want := drifted.Signature(), drifted.computeSignature(); got != want {
+		t.Fatalf("drifted memo entry differs from recomputation:\n got %v\nwant %v", got, want)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				if b.Signature() != drifted.Signature() {
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
 }
 
 func TestCountersAddNoise(t *testing.T) {
