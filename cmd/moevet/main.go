@@ -1,0 +1,67 @@
+// Command moevet is the repo's invariant checker: a multichecker that runs
+// the internal/analysis suite — maporder, seededrand, settledstate, refpair
+// — over the packages named on the command line and exits nonzero when any
+// finding survives its //moevet:allow annotations. CI runs it blocking
+// (`go run ./cmd/moevet ./...`); see README "Determinism discipline" for the
+// invariants and the annotation syntax.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"moespark/internal/analysis"
+)
+
+func main() {
+	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	flag.Usage = usage
+	flag.Parse()
+
+	analyzers := analysis.All()
+	if *only != "" {
+		want := map[string]bool{}
+		for _, name := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(name)] = true
+		}
+		var picked []*analysis.Analyzer
+		for _, a := range analyzers {
+			if want[a.Name] {
+				picked = append(picked, a)
+				delete(want, a.Name)
+			}
+		}
+		for name := range want {
+			fmt.Fprintf(os.Stderr, "moevet: unknown analyzer %q\n", name)
+			os.Exit(2)
+		}
+		analyzers = picked
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	diags, _, err := analysis.Run(".", patterns, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "moevet:", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "moevet: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, "usage: moevet [-only analyzer,...] [packages]\n\nanalyzers:\n")
+	for _, a := range analysis.All() {
+		fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, a.Doc)
+	}
+	flag.PrintDefaults()
+}

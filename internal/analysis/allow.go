@@ -1,0 +1,173 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// This file implements the //moevet:allow annotation: the one sanctioned way
+// to suppress a finding. The syntax is
+//
+//	//moevet:allow <analyzer> <reason>
+//
+// and the scope is deliberately narrow — exactly the named analyzer, exactly
+// the next statement (or declaration) when the comment stands on its own
+// line, or exactly the statements on the same line when it trails code. A
+// blanket opt-out does not exist: every surviving exception in the tree
+// carries a written reason next to the code it excuses, and a malformed
+// annotation (unknown analyzer name, missing reason) is itself a finding so
+// a typo cannot silently disable a check.
+
+const allowPrefix = "//moevet:allow"
+
+// An allowRegion is the suppression span of one valid annotation.
+type allowRegion struct {
+	analyzer string
+	// file+line identify trailing-comment scope; start/end bound the
+	// next-statement scope of a standalone comment.
+	file       string
+	line       int
+	trailing   bool
+	start, end token.Pos
+}
+
+// allowSet is every valid annotation of one package.
+type allowSet struct {
+	regions []allowRegion
+}
+
+// suppresses reports whether some annotation covers the diagnostic.
+func (s *allowSet) suppresses(d Diagnostic) bool {
+	for _, r := range s.regions {
+		if r.analyzer != d.Analyzer {
+			continue
+		}
+		if r.trailing {
+			if d.Position.Filename == r.file && d.Position.Line == r.line {
+				return true
+			}
+			continue
+		}
+		if d.Pos >= r.start && d.Pos < r.end {
+			return true
+		}
+	}
+	return false
+}
+
+// collectAllows parses every //moevet:allow comment in the package, returning
+// the valid suppression regions and a diagnostic (pseudo-analyzer "moevet")
+// for each malformed one. known is the set of annotatable analyzer names.
+func collectAllows(pkg *Package, known map[string]bool) (*allowSet, []Diagnostic) {
+	set := &allowSet{}
+	var diags []Diagnostic
+	report := func(pos token.Pos, msg string) {
+		diags = append(diags, Diagnostic{
+			Pos:      pos,
+			Position: pkg.Fset.Position(pos),
+			Analyzer: "moevet",
+			Message:  msg,
+		})
+	}
+	for _, f := range pkg.Files {
+		spans := statementSpans(f)
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, allowPrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, allowPrefix)
+				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+					continue // some other directive, e.g. //moevet:allowX
+				}
+				fields := strings.Fields(rest)
+				if len(fields) == 0 {
+					report(c.Pos(), "moevet:allow needs an analyzer name and a reason")
+					continue
+				}
+				name := fields[0]
+				if !known[name] {
+					report(c.Pos(), fmt.Sprintf("moevet:allow names unknown analyzer %q", name))
+					continue
+				}
+				if len(fields) < 2 {
+					report(c.Pos(), "moevet:allow "+name+" needs a reason")
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				region := allowRegion{analyzer: name, file: pos.Filename, line: pos.Line}
+				if onOwnLine(pkg.Fset, f, c) {
+					start, end, ok := nextSpan(spans, c.End())
+					if !ok {
+						report(c.Pos(), "moevet:allow "+name+" is not followed by a statement")
+						continue
+					}
+					region.start, region.end = start, end
+				} else {
+					region.trailing = true
+				}
+				set.regions = append(set.regions, region)
+			}
+		}
+	}
+	return set, diags
+}
+
+// onOwnLine reports whether no statement or declaration starts on the
+// comment's line before it (i.e. the comment is not trailing code).
+func onOwnLine(fset *token.FileSet, f *ast.File, c *ast.Comment) bool {
+	line := fset.Position(c.Pos()).Line
+	own := true
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil || !own {
+			return false
+		}
+		if _, ok := n.(ast.Stmt); ok {
+			if fset.Position(n.Pos()).Line == line && n.Pos() < c.Pos() {
+				own = false
+				return false
+			}
+		}
+		return n.End() >= c.Pos() // prune subtrees entirely before the comment
+	})
+	return own
+}
+
+// span is one statement's or declaration's position range.
+type span struct{ start, end token.Pos }
+
+// statementSpans collects the spans of every statement and top-level
+// declaration in source order.
+func statementSpans(f *ast.File) []span {
+	var spans []span
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n.(type) {
+		case ast.Stmt, ast.Decl:
+			spans = append(spans, span{n.Pos(), n.End()})
+		}
+		return true
+	})
+	return spans
+}
+
+// nextSpan returns the full extent of the next statement after pos: the
+// widest span among those sharing the smallest start position > pos (a
+// statement and its first child can start together; the annotation covers
+// the outermost).
+func nextSpan(spans []span, pos token.Pos) (start, end token.Pos, ok bool) {
+	best := span{}
+	for _, s := range spans {
+		if s.start <= pos {
+			continue
+		}
+		switch {
+		case !ok, s.start < best.start:
+			best, ok = s, true
+		case s.start == best.start && s.end > best.end:
+			best = s
+		}
+	}
+	return best.start, best.end, ok
+}

@@ -1,0 +1,59 @@
+package analysis_test
+
+import (
+	"strings"
+	"testing"
+
+	"moespark/internal/analysis"
+	"moespark/internal/analysis/analysistest"
+)
+
+// TestAllowScope pins the suppression scope with want comments: exactly the
+// named analyzer, exactly the next statement (standalone form) or the same
+// line (trailing form).
+func TestAllowScope(t *testing.T) {
+	analysistest.Run(t, "testdata/src/allow",
+		[]*analysis.Analyzer{analysis.MapOrder, analysis.SeededRand}, "./scope")
+}
+
+// TestAllowMalformed asserts the pseudo-diagnostics for broken annotations
+// programmatically: a trailing // want comment on an annotation line would
+// be absorbed into the annotation's reason text, so the fixture cannot
+// carry expectations inline.
+func TestAllowMalformed(t *testing.T) {
+	diags, _, err := analysis.Run("testdata/src/allow", []string{"./malformed"},
+		[]*analysis.Analyzer{analysis.MapOrder})
+	if err != nil {
+		t.Fatalf("analysis.Run: %v", err)
+	}
+	want := []struct {
+		analyzer string
+		substr   string
+	}{
+		// typoed: the unknown name is a finding, and the broken annotation
+		// suppresses nothing — the range below it is still flagged.
+		{"moevet", `names unknown analyzer "mapporder"`},
+		{"maporder", "range over map m"},
+		// missingReason: same shape for a reason-less annotation.
+		{"moevet", "moevet:allow maporder needs a reason"},
+		{"maporder", "range over map m"},
+		// bare //moevet:allow with nothing after it.
+		{"moevet", "needs an analyzer name and a reason"},
+		// valid-looking annotation dangling at end of file.
+		{"moevet", "is not followed by a statement"},
+	}
+	if len(diags) != len(want) {
+		var got []string
+		for _, d := range diags {
+			got = append(got, d.String())
+		}
+		t.Fatalf("got %d diagnostics, want %d:\n%s", len(diags), len(want), strings.Join(got, "\n"))
+	}
+	for i, w := range want {
+		d := diags[i]
+		if d.Analyzer != w.analyzer || !strings.Contains(d.Message, w.substr) {
+			t.Errorf("diagnostic %d = %s, want analyzer %q message containing %q",
+				i, d.String(), w.analyzer, w.substr)
+		}
+	}
+}

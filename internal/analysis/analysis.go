@@ -1,0 +1,137 @@
+// Package analysis is moevet's static-analysis framework: a small,
+// dependency-free reimplementation of the golang.org/x/tools/go/analysis
+// surface the repo's invariant checkers need. The module is deliberately
+// stdlib-only, so the framework loads packages itself (load.go) instead of
+// importing go/packages, and drives analyzers over parsed, type-checked
+// syntax the same way a multichecker would.
+//
+// The four analyzers it ships (maporder.go, seededrand.go, settledstate.go,
+// refpair.go) encode the determinism discipline every result in this repo
+// rests on — goldens, the 25-workload differential suites, benchstat
+// comparisons — as mechanical checks; see README "Determinism discipline".
+// Findings are suppressed one statement at a time with
+//
+//	//moevet:allow <analyzer> <reason>
+//
+// annotations (allow.go), never globally.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer is one invariant checker. Run is invoked once per loaded
+// package with a fully type-checked Pass.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //moevet:allow annotations.
+	Name string
+	// Doc is a one-paragraph description printed by the driver's -help.
+	Doc string
+	// Run reports the package's violations through pass.Reportf.
+	Run func(*Pass)
+}
+
+// A Pass carries one type-checked package to one analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      pos,
+		Position: p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// PkgBaseName returns the package name with any external-test suffix
+// stripped, so "cluster_test" is governed by the same package policies as
+// "cluster".
+func (p *Pass) PkgBaseName() string {
+	return strings.TrimSuffix(p.Pkg.Name(), "_test")
+}
+
+// A Diagnostic is one reported violation.
+type Diagnostic struct {
+	Pos      token.Pos
+	Position token.Position
+	Analyzer string
+	Message  string
+}
+
+// String formats the diagnostic the way the driver prints it.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: [%s] %s", d.Position, d.Analyzer, d.Message)
+}
+
+// All returns the full moevet analyzer suite in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{MapOrder, SeededRand, SettledState, RefPair}
+}
+
+// Run loads the packages matching patterns (relative to dir), runs every
+// analyzer over each, applies //moevet:allow suppression, and returns the
+// surviving diagnostics sorted by position. Malformed annotations (unknown
+// analyzer name, missing reason) are themselves diagnostics, attributed to
+// the pseudo-analyzer "moevet". The known set used to validate annotation
+// names is always the full suite, independent of which analyzers run.
+func Run(dir string, patterns []string, analyzers []*Analyzer) ([]Diagnostic, []*Package, error) {
+	pkgs, err := Load(dir, patterns)
+	if err != nil {
+		return nil, nil, err
+	}
+	known := map[string]bool{}
+	for _, a := range All() {
+		known[a.Name] = true
+	}
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		allows, allowDiags := collectAllows(pkg, known)
+		var raw []Diagnostic
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.TypesInfo,
+				diags:     &raw,
+			}
+			a.Run(pass)
+		}
+		for _, d := range raw {
+			if !allows.suppresses(d) {
+				diags = append(diags, d)
+			}
+		}
+		diags = append(diags, allowDiags...)
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].Position, diags[j].Position
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+	return diags, pkgs, nil
+}

@@ -1,0 +1,92 @@
+// Package analysistest runs analyzers over fixture packages and compares
+// the diagnostics against expectations written in the fixtures themselves,
+// mirroring golang.org/x/tools/go/analysis/analysistest for moevet's
+// stdlib-only framework. A fixture is a small self-contained module under
+// testdata/src/<name>/ (its own go.mod keeps it out of the repo build), and
+// an expectation is a trailing comment
+//
+//	// want `regexp` `regexp` ...
+//
+// on the line the diagnostic should land on. Each backtick-quoted regexp
+// must match a distinct diagnostic of the form "[analyzer] message" on that
+// line; diagnostics with no matching expectation and expectations with no
+// matching diagnostic both fail the test.
+package analysistest
+
+import (
+	"fmt"
+	"regexp"
+	"strings"
+	"testing"
+
+	"moespark/internal/analysis"
+)
+
+var wantRE = regexp.MustCompile("`([^`]*)`")
+
+// Run loads the fixture module rooted at dir, runs the analyzers over
+// patterns (default ./...), and checks the diagnostics against the
+// fixtures' want comments. It returns the surviving diagnostics so callers
+// can make extra assertions.
+func Run(t *testing.T, dir string, analyzers []*analysis.Analyzer, patterns ...string) []analysis.Diagnostic {
+	t.Helper()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	diags, pkgs, err := analysis.Run(dir, patterns, analyzers)
+	if err != nil {
+		t.Fatalf("analysis.Run(%s): %v", dir, err)
+	}
+
+	type expectation struct {
+		re      *regexp.Regexp
+		matched bool
+	}
+	// key: "file:line"
+	expects := map[string][]*expectation{}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					idx := strings.Index(c.Text, "// want")
+					if idx < 0 {
+						continue
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+					for _, m := range wantRE.FindAllStringSubmatch(c.Text[idx:], -1) {
+						re, err := regexp.Compile(m[1])
+						if err != nil {
+							t.Fatalf("%s: bad want regexp %q: %v", key, m[1], err)
+						}
+						expects[key] = append(expects[key], &expectation{re: re})
+					}
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		key := fmt.Sprintf("%s:%d", d.Position.Filename, d.Position.Line)
+		text := fmt.Sprintf("[%s] %s", d.Analyzer, d.Message)
+		found := false
+		for _, e := range expects[key] {
+			if !e.matched && e.re.MatchString(text) {
+				e.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("unexpected diagnostic at %s: %s", key, text)
+		}
+	}
+	for key, es := range expects {
+		for _, e := range es {
+			if !e.matched {
+				t.Errorf("%s: expected diagnostic matching %q, got none", key, e.re)
+			}
+		}
+	}
+	return diags
+}

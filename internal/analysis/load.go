@@ -1,0 +1,175 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// This file is moevet's package loader. It cannot use go/packages (the
+// module is dependency-free), so it rebuilds the minimal subset: one
+// `go list -export -deps -test -json` invocation enumerates every package in
+// the build — including per-package export-data files the go command already
+// compiled into its build cache — and the loader parses and type-checks only
+// the packages under analysis, resolving their imports through the export
+// data. That keeps the whole pipeline offline and proportional to the size
+// of the repo, not of the standard library.
+
+// A Package is one parsed, type-checked package under analysis.
+type Package struct {
+	// ImportPath is the go list import path, including the " [pkg.test]"
+	// variant suffix for test packages.
+	ImportPath string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	TypesInfo  *types.Info
+}
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	GoFiles    []string
+	Export     string
+	Standard   bool
+	DepOnly    bool
+	ForTest    string
+	ImportMap  map[string]string
+}
+
+// Load enumerates, parses and type-checks the packages matching patterns,
+// with dir as the working directory (the enclosing module decides what the
+// patterns mean). Test variants are included; when go list reports both a
+// base package and its [pkg.test] variant (a strict superset adding the
+// in-package _test.go files), only the variant is analyzed so no file is
+// visited twice.
+func Load(dir string, patterns []string) ([]*Package, error) {
+	args := append([]string{
+		"list", "-export", "-deps", "-test",
+		"-json=ImportPath,Name,Dir,GoFiles,Export,Standard,DepOnly,ForTest,ImportMap",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+
+	var metas []*listPkg
+	exports := map[string]string{}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("decoding go list output: %v", err)
+		}
+		meta := p
+		metas = append(metas, &meta)
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+
+	// Packages superseded by their [pkg.test] variant: an internal-test
+	// variant "p [p.test]" carries ForTest == p and its base path == p, and
+	// its file list is the base package's plus the in-package _test.go
+	// files. (External test packages "p_test [p.test]" also set ForTest but
+	// have their own base path, so they never supersede anything.)
+	superseded := map[string]bool{}
+	for _, p := range metas {
+		base, _, _ := strings.Cut(p.ImportPath, " [")
+		if p.ForTest != "" && base == p.ForTest {
+			superseded[p.ForTest] = true
+		}
+	}
+
+	fset := token.NewFileSet()
+	var pkgs []*Package
+	for _, p := range metas {
+		switch {
+		case p.Standard, p.DepOnly:
+			continue
+		case strings.HasSuffix(p.ImportPath, ".test"):
+			// The generated test-binary main package (_testmain.go).
+			continue
+		case superseded[p.ImportPath]:
+			continue
+		case len(p.GoFiles) == 0:
+			continue
+		}
+		pkg, err := typecheck(fset, p, exports)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// typecheck parses and type-checks one package, resolving its imports from
+// export data. Each package gets its own gc importer because import paths
+// resolve through the package's ImportMap (an external test package imports
+// the [pkg.test] variant of the package it tests under the plain path).
+func typecheck(fset *token.FileSet, meta *listPkg, exports map[string]string) (*Package, error) {
+	var files []*ast.File
+	for _, name := range meta.GoFiles {
+		path := name
+		if !filepath.IsAbs(path) {
+			path = filepath.Join(meta.Dir, name)
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("parsing %s: %v", path, err)
+		}
+		files = append(files, f)
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := meta.ImportMap[path]; ok {
+			path = mapped
+		}
+		exp, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(exp)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+	conf := types.Config{
+		Importer: importer.ForCompiler(fset, "gc", lookup),
+	}
+	tpkg, err := conf.Check(meta.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %v", meta.ImportPath, err)
+	}
+	return &Package{
+		ImportPath: meta.ImportPath,
+		Dir:        meta.Dir,
+		Fset:       fset,
+		Files:      files,
+		Types:      tpkg,
+		TypesInfo:  info,
+	}, nil
+}

@@ -1,0 +1,213 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// deterministicPkgs are the packages whose code runs on result paths:
+// everything they compute feeds goldens, differential suites or benchstat
+// numbers, so iteration order anywhere inside them must be reproducible.
+// External test packages ("cluster_test") inherit the policy of the package
+// they test.
+var deterministicPkgs = map[string]bool{
+	"cluster":  true,
+	"sched":    true,
+	"moe":      true,
+	"classify": true,
+	"workload": true,
+	"metrics":  true,
+}
+
+// MapOrder flags `range` over a map inside a deterministic package. Go
+// randomizes map iteration order per run, so any map range whose body is
+// order-sensitive makes results differ between bit-identical invocations.
+// A range is exempt only when the body is provably order-insensitive:
+// every statement is commutative accumulation — integer `x++`/`x--`/`x op= v`
+// into a loop-invariant scalar, any `m[k] op= v` or `m[k] = v` keyed by the
+// range key itself (each key visited once), or `delete(m, k)` by the range
+// key — with side-effect-free operands. Anything else (float accumulation,
+// whose rounding is order-dependent; conditionals; calls; appends) must
+// either iterate sorted keys or carry //moevet:allow maporder <reason>.
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc:  "flags range over a map in deterministic packages unless the body is provably order-insensitive",
+	Run:  runMapOrder,
+}
+
+func runMapOrder(pass *Pass) {
+	if !deterministicPkgs[pass.PkgBaseName()] {
+		return
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := pass.TypesInfo.Types[rng.X]
+			if !ok {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if orderInsensitiveBody(pass, rng) {
+				return true
+			}
+			pass.Reportf(rng.Pos(),
+				"range over map %s: iteration order is nondeterministic; iterate sorted keys, or annotate //moevet:allow maporder <reason> if order cannot affect results",
+				types.ExprString(rng.X))
+			return true
+		})
+	}
+}
+
+// orderInsensitiveBody reports whether every statement of the range body is
+// commutative accumulation in the sense documented on MapOrder.
+func orderInsensitiveBody(pass *Pass, rng *ast.RangeStmt) bool {
+	key, _ := rng.Key.(*ast.Ident)
+	if key != nil && key.Name == "_" {
+		key = nil
+	}
+	for _, stmt := range rng.Body.List {
+		if !orderInsensitiveStmt(pass, key, stmt) {
+			return false
+		}
+	}
+	return true
+}
+
+func orderInsensitiveStmt(pass *Pass, key *ast.Ident, stmt ast.Stmt) bool {
+	switch s := stmt.(type) {
+	case *ast.IncDecStmt:
+		// x++ / x-- is exact (hence commutative) only for integers; per-key
+		// targets are visited once so any type goes.
+		if keyedByRange(pass, key, s.X) {
+			return pureExpr(pass, s.X)
+		}
+		return isInteger(pass, s.X) && pureExpr(pass, s.X)
+	case *ast.AssignStmt:
+		if len(s.Lhs) != 1 || len(s.Rhs) != 1 {
+			return false
+		}
+		lhs, rhs := s.Lhs[0], s.Rhs[0]
+		if !pureExpr(pass, lhs) || !pureExpr(pass, rhs) {
+			return false
+		}
+		if keyedByRange(pass, key, lhs) {
+			// m[k] = v / m[k] op= v: the range produces each key exactly
+			// once, so per-key writes commute regardless of element type.
+			return s.Tok == token.ASSIGN || commutativeAssignOp(s.Tok)
+		}
+		// Scalar accumulator: only exact commutative integer ops; plain
+		// assignment (last writer wins) is order-sensitive.
+		return commutativeAssignOp(s.Tok) && isInteger(pass, lhs)
+	case *ast.ExprStmt:
+		// delete(m, k) by the range key: each reached entry removed once.
+		call, ok := s.X.(*ast.CallExpr)
+		if !ok || len(call.Args) != 2 {
+			return false
+		}
+		fn, ok := call.Fun.(*ast.Ident)
+		if !ok || fn.Name != "delete" {
+			return false
+		}
+		if b, ok := pass.TypesInfo.Uses[fn].(*types.Builtin); !ok || b.Name() != "delete" {
+			return false
+		}
+		arg, ok := call.Args[1].(*ast.Ident)
+		return ok && key != nil && sameObject(pass, arg, key) && pureExpr(pass, call.Args[0])
+	}
+	return false
+}
+
+// keyedByRange reports whether expr is an index expression whose index is
+// exactly the range key variable.
+func keyedByRange(pass *Pass, key *ast.Ident, expr ast.Expr) bool {
+	if key == nil {
+		return false
+	}
+	ix, ok := expr.(*ast.IndexExpr)
+	if !ok {
+		return false
+	}
+	id, ok := ix.Index.(*ast.Ident)
+	return ok && sameObject(pass, id, key)
+}
+
+// sameObject reports whether two identifiers denote the same object.
+func sameObject(pass *Pass, a, b *ast.Ident) bool {
+	oa := pass.TypesInfo.Uses[a]
+	if oa == nil {
+		oa = pass.TypesInfo.Defs[a]
+	}
+	ob := pass.TypesInfo.Uses[b]
+	if ob == nil {
+		ob = pass.TypesInfo.Defs[b]
+	}
+	return oa != nil && oa == ob
+}
+
+func commutativeAssignOp(tok token.Token) bool {
+	switch tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN,
+		token.AND_ASSIGN, token.OR_ASSIGN, token.XOR_ASSIGN:
+		return true
+	}
+	return false
+}
+
+func isInteger(pass *Pass, expr ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[expr]
+	if !ok {
+		return false
+	}
+	basic, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsInteger != 0
+}
+
+// pureExpr reports whether evaluating the expression is free of side effects
+// and of observable evaluation order: identifiers, selectors, literals,
+// index expressions, unary/binary operators, conversions and len/cap calls
+// over pure operands. Any other call is assumed impure.
+func pureExpr(pass *Pass, expr ast.Expr) bool {
+	switch e := expr.(type) {
+	case *ast.Ident, *ast.BasicLit:
+		return true
+	case *ast.SelectorExpr:
+		return pureExpr(pass, e.X)
+	case *ast.IndexExpr:
+		return pureExpr(pass, e.X) && pureExpr(pass, e.Index)
+	case *ast.ParenExpr:
+		return pureExpr(pass, e.X)
+	case *ast.UnaryExpr:
+		return e.Op != token.AND && pureExpr(pass, e.X)
+	case *ast.BinaryExpr:
+		return pureExpr(pass, e.X) && pureExpr(pass, e.Y)
+	case *ast.StarExpr:
+		return pureExpr(pass, e.X)
+	case *ast.CallExpr:
+		// Conversions and len/cap of pure operands.
+		if tv, ok := pass.TypesInfo.Types[e.Fun]; ok && tv.IsType() {
+			return len(e.Args) == 1 && pureExpr(pass, e.Args[0])
+		}
+		if id, ok := e.Fun.(*ast.Ident); ok {
+			if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); ok && (b.Name() == "len" || b.Name() == "cap") {
+				return len(e.Args) == 1 && pureExpr(pass, e.Args[0])
+			}
+		}
+		return false
+	case *ast.CompositeLit:
+		for _, elt := range e.Elts {
+			if !pureExpr(pass, elt) {
+				return false
+			}
+		}
+		return true
+	case *ast.KeyValueExpr:
+		return pureExpr(pass, e.Key) && pureExpr(pass, e.Value)
+	}
+	return false
+}

@@ -1,0 +1,12 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"moespark/internal/analysis"
+	"moespark/internal/analysis/analysistest"
+)
+
+func TestMapOrder(t *testing.T) {
+	analysistest.Run(t, "testdata/src/maporder", []*analysis.Analyzer{analysis.MapOrder})
+}

@@ -1,0 +1,12 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"moespark/internal/analysis"
+	"moespark/internal/analysis/analysistest"
+)
+
+func TestRefPair(t *testing.T) {
+	analysistest.Run(t, "testdata/src/refpair", []*analysis.Analyzer{analysis.RefPair})
+}

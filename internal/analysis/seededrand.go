@@ -1,0 +1,83 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// simulationPkgs are the packages where time and randomness must be
+// simulated: wall-clock reads and unseeded randomness there make two runs of
+// the same seed diverge. The set is the deterministic result-path packages
+// plus everything that feeds them (experiment harnesses, calibration, math
+// kernels, the deterministic parallel runner).
+var simulationPkgs = map[string]bool{
+	"cluster":     true,
+	"sched":       true,
+	"moe":         true,
+	"classify":    true,
+	"workload":    true,
+	"metrics":     true,
+	"experiments": true,
+	"memfunc":     true,
+	"features":    true,
+	"mathx":       true,
+	"parallel":    true,
+}
+
+// SeededRand forbids the global math/rand generator and wall-clock reads in
+// simulation packages. Randomness must flow from an explicitly seeded
+// *rand.Rand handed down by the caller (rand.New(rand.NewSource(seed))), and
+// time must come from the engine clock (Cluster.Now), never the machine's.
+// Constructors (rand.New*, rand.NewSource) are allowed — they are how seeded
+// generators are built; every other package-level math/rand function, plus
+// time.Now / time.Since / time.Until, is a finding. Both calls and uses as
+// function values are flagged.
+var SeededRand = &Analyzer{
+	Name: "seededrand",
+	Doc:  "forbids global math/rand functions and wall-clock reads (time.Now/Since/Until) in simulation packages",
+	Run:  runSeededRand,
+}
+
+func runSeededRand(pass *Pass) {
+	if !simulationPkgs[pass.PkgBaseName()] {
+		return
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj := pass.TypesInfo.Uses[sel.Sel]
+			if obj == nil || obj.Pkg() == nil {
+				return true
+			}
+			if _, isFunc := obj.(*types.Func); !isFunc {
+				return true
+			}
+			// Only package-qualified references (rand.Intn), not methods.
+			if id, ok := sel.X.(*ast.Ident); !ok {
+				return true
+			} else if _, isPkg := pass.TypesInfo.Uses[id].(*types.PkgName); !isPkg {
+				return true
+			}
+			switch obj.Pkg().Path() {
+			case "math/rand", "math/rand/v2":
+				if !strings.HasPrefix(obj.Name(), "New") {
+					pass.Reportf(sel.Pos(),
+						"global %s.%s is unseeded: draw from a seeded *rand.Rand passed in by the caller",
+						obj.Pkg().Name(), obj.Name())
+				}
+			case "time":
+				switch obj.Name() {
+				case "Now", "Since", "Until":
+					pass.Reportf(sel.Pos(),
+						"time.%s reads the wall clock: simulation code must take time from the engine clock",
+						obj.Name())
+				}
+			}
+			return true
+		})
+	}
+}

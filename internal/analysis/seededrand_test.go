@@ -1,0 +1,12 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"moespark/internal/analysis"
+	"moespark/internal/analysis/analysistest"
+)
+
+func TestSeededRand(t *testing.T) {
+	analysistest.Run(t, "testdata/src/seededrand", []*analysis.Analyzer{analysis.SeededRand})
+}

@@ -1,0 +1,3 @@
+module allow
+
+go 1.24

@@ -1,0 +1,37 @@
+// Package cluster (under allow/malformed) holds deliberately broken
+// annotations. The test asserts the resulting moevet pseudo-diagnostics
+// programmatically rather than with want comments: a trailing // want on
+// an annotation line would be absorbed into the annotation's reason text,
+// since a line comment runs to end of line.
+package cluster
+
+// typoed: the misspelled analyzer name is itself a finding, and the broken
+// annotation suppresses nothing — the range below is still flagged.
+func typoed(m map[string][]int) []int {
+	var out []int
+	//moevet:allow mapporder the analyzer name is misspelled
+	for _, vs := range m {
+		out = append(out, vs...)
+	}
+	return out
+}
+
+// missingReason: a bare analyzer name without a written reason is rejected.
+func missingReason(m map[string][]int) []int {
+	var out []int
+	//moevet:allow maporder
+	for _, vs := range m {
+		out = append(out, vs...)
+	}
+	return out
+}
+
+// bare: no analyzer name at all.
+func bare() {
+	//moevet:allow
+}
+
+// The annotation below is valid in form but dangles at end of file with no
+// statement to attach to.
+//
+//moevet:allow maporder nothing follows this comment

@@ -1,0 +1,35 @@
+// Package cluster (under allow/scope) pins the annotation's scope: exactly
+// the named analyzer, exactly the next statement (standalone form) or the
+// same line (trailing form). The package is named cluster so both maporder
+// and seededrand govern it.
+package cluster
+
+import "math/rand"
+
+// onlyNext: the annotation excuses the first range and nothing else — the
+// second, identical range is still flagged.
+func onlyNext(m map[string][]int) []int {
+	var out []int
+	//moevet:allow maporder fixture pins the next-statement-only scope
+	for _, vs := range m {
+		out = append(out, vs...)
+	}
+	for _, vs := range m { // want `range over map m`
+		out = append(out, vs...)
+	}
+	return out
+}
+
+// wrongAnalyzer: an annotation naming maporder does not excuse a
+// seededrand finding on the next statement.
+func wrongAnalyzer() float64 {
+	//moevet:allow maporder names a different analyzer than the finding below
+	return rand.Float64() // want `global rand.Float64 is unseeded`
+}
+
+// trailing: the trailing form covers its own line only.
+func trailing() (float64, float64) {
+	a := rand.Float64() //moevet:allow seededrand fixture pins the same-line-only scope
+	b := rand.Float64() // want `global rand.Float64 is unseeded`
+	return a, b
+}

@@ -1,0 +1,92 @@
+// Package cluster is a maporder fixture: its name places it in the
+// deterministic-package set, so every map range here is checked.
+package cluster
+
+// appendValues is order-sensitive: the output slice order follows map
+// iteration order.
+func appendValues(m map[string][]int) []int {
+	var out []int
+	for _, vs := range m { // want `range over map m`
+		out = append(out, vs...)
+	}
+	return out
+}
+
+// sumInts is exempt: integer accumulation is exact, hence commutative.
+func sumInts(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// countKeys is exempt: integer increment.
+func countKeys(m map[string]bool) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+// sumFloats is order-sensitive: float addition rounds differently per
+// iteration order.
+func sumFloats(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m { // want `range over map m`
+		sum += v
+	}
+	return sum
+}
+
+// copyKeyed is exempt: each key is written exactly once.
+func copyKeyed(src, dst map[int]float64) {
+	for k, v := range src {
+		dst[k] = v
+	}
+}
+
+// accumulateKeyed is exempt: per-key op-assign, each key visited once.
+func accumulateKeyed(src, dst map[int]float64) {
+	for k, v := range src {
+		dst[k] += v * 2
+	}
+}
+
+// dropKeys is exempt: delete by the range key removes each reached entry
+// once.
+func dropKeys(src map[int]bool, dst map[int]bool) {
+	for k := range src {
+		delete(dst, k)
+	}
+}
+
+// wrongKey is order-sensitive: the written key is not the range key, so
+// iterations can collide on one slot.
+func wrongKey(src, dst map[int]float64) {
+	for k, v := range src { // want `range over map src`
+		dst[k/2] = v
+	}
+}
+
+// impureRHS is order-sensitive: the call's side effects observe iteration
+// order even though the write is keyed.
+func impureRHS(src map[int]int, dst map[int]int, f func(int) int) {
+	for k, v := range src { // want `range over map src`
+		dst[k] = f(v)
+	}
+}
+
+// conditionalMin is a real reduction that commutes, but not provably so for
+// the analyzer: the annotation records the reason.
+func conditionalMin(m map[int]float64) float64 {
+	best := 1e300
+	//moevet:allow maporder min reduction commutes; fixture mirrors imbalance metrics
+	for _, v := range m {
+		if v < best {
+			best = v
+		}
+	}
+	return best
+}

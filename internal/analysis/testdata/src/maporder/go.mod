@@ -1,0 +1,3 @@
+module maporder
+
+go 1.24

@@ -1,0 +1,11 @@
+// Package other is outside the deterministic-package set: map ranges here
+// are not moevet's business.
+package other
+
+func appendValues(m map[string][]int) []int {
+	var out []int
+	for _, vs := range m {
+		out = append(out, vs...)
+	}
+	return out
+}

@@ -1,0 +1,48 @@
+package engine
+
+// refNextEventDt pairs with nextEventDt by name. The extra share parameter
+// is explicit state the live path reads from cached fields: allowed, because
+// the twin's (empty) parameter list is a subsequence of the reference's.
+func refNextEventDt(share float64) (float64, bool) {
+	return share, true
+}
+
+// refScan pairs with the method scan on the same receiver type.
+func (e *Engine) refScan(limit int) int {
+	if e.top > limit {
+		return limit
+	}
+	return e.top
+}
+
+func refMissing() int { // want `reference refMissing has no twin`
+	return 0
+}
+
+func refDrifted() (int, error) { // want `results .* differ from twin drifted`
+	return 0, nil
+}
+
+// linearProbe does not start with "ref": only the directive pairs it.
+//
+//moevet:refpair indexed
+func linearProbe(xs []float64, extra float64, k int) int {
+	_ = extra
+	return indexed(xs, k)
+}
+
+// probeBad pairs with indexedBad by directive, but the twin's string
+// parameter never appears among the reference's parameters.
+//
+//moevet:refpair indexedBad
+func probeBad(x float64) int { // want `parameters .* are not a subsequence`
+	return int(x)
+}
+
+// refCheckAll is a pure cross-checker: it compares stored state against a
+// fresh scan and deliberately has no live twin.
+//
+//moevet:allow refpair pure cross-checker comparing stored state to a fresh scan
+func refCheckAll() string {
+	return ""
+}

@@ -1,0 +1,3 @@
+module refpair
+
+go 1.24

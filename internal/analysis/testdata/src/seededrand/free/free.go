@@ -1,0 +1,12 @@
+// Package free is outside the simulation-package set: global randomness
+// and wall-clock reads are allowed here.
+package free
+
+import (
+	"math/rand"
+	"time"
+)
+
+func unchecked() (float64, time.Time) {
+	return rand.Float64(), time.Now()
+}

@@ -1,0 +1,3 @@
+module seededrand
+
+go 1.24

@@ -1,0 +1,49 @@
+// Package workload is a seededrand fixture: its name places it in the
+// simulation-package set, so global randomness and wall-clock reads are
+// flagged.
+package workload
+
+import (
+	"math/rand"
+	"time"
+)
+
+// badValue demonstrates that value uses of global rand functions are
+// caught, not just calls.
+var badValue = rand.Intn // want `global rand.Intn is unseeded`
+
+func badDraws() (float64, int64) {
+	f := rand.Float64() // want `global rand.Float64 is unseeded`
+	n := rand.Int63n(7) // want `global rand.Int63n is unseeded`
+	return f, n
+}
+
+func badClock(t time.Time) (time.Time, time.Duration) {
+	now := time.Now()     // want `time.Now reads the wall clock`
+	aged := time.Since(t) // want `time.Since reads the wall clock`
+	_ = time.Until(t)     // want `time.Until reads the wall clock`
+	return now, aged
+}
+
+// goodDraws uses a caller-seeded source: every draw is reproducible.
+func goodDraws(r *rand.Rand) (float64, int) {
+	return r.Float64(), r.Intn(10)
+}
+
+// goodConstruction builds the seeded source itself; constructors are
+// exempt (they are how seeded sources come to exist).
+func goodConstruction() *rand.Rand {
+	return rand.New(rand.NewSource(42))
+}
+
+// goodTypes only names types and constants from the packages; no draw, no
+// clock read.
+func goodTypes(d time.Duration) time.Duration {
+	return d + time.Second
+}
+
+// annotated shows the escape hatch for deliberate wall-clock reads.
+func annotated() time.Time {
+	//moevet:allow seededrand fixture exercising the annotation path
+	return time.Now()
+}

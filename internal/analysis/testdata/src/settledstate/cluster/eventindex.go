@@ -1,0 +1,8 @@
+package cluster
+
+// Files named eventindex.go are the deadline-index home and are exempt
+// wholesale: these writes produce no diagnostics.
+func (c *Cluster) reindex(a *App, at float64) {
+	a.deadline = at
+	a.touched = false
+}

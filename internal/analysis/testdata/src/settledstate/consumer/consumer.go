@@ -1,0 +1,9 @@
+// Package consumer writes a settled field from outside the cluster
+// package entirely: the discipline follows the type, not the file.
+package consumer
+
+import "settledstate/cluster"
+
+func Drain(a *cluster.App) {
+	a.RemainingGB = 0 // want `write to settle-discipline field App.RemainingGB`
+}

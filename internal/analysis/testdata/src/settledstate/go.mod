@@ -1,0 +1,3 @@
+module settledstate
+
+go 1.24

@@ -59,6 +59,7 @@ func checkSamples(samples []Sample) (dim int, labels []int, err error) {
 		seen[s.Label] = true
 	}
 	labels = make([]int, 0, len(seen))
+	//moevet:allow maporder collected labels are insertion-sorted immediately below
 	for l := range seen {
 		labels = append(labels, l)
 	}

@@ -27,6 +27,8 @@ type neigh struct {
 // the single nearest. The stable sort means equal distances keep insertion
 // order, so the first-inserted sample wins ties — a property the scheduler's
 // golden tests depend on.
+//
+//moevet:refpair predictIndexed
 func (k *KNN) predictLinear(x []float64, bias func(label int) float64) (label int, nearest float64, err error) {
 	var scratch []neigh
 	return k.predictLinearBuf(x, bias, &scratch)
@@ -35,6 +37,8 @@ func (k *KNN) predictLinear(x []float64, bias func(label int) float64) (label in
 // predictLinearBuf is predictLinear over a caller-owned ranking buffer, so a
 // batch of queries (PredictBatch) allocates it once instead of per query.
 // The buffer is grown in place; its contents carry no state between calls.
+//
+//moevet:refpair predictIndexed
 func (k *KNN) predictLinearBuf(x []float64, bias func(label int) float64, scratch *[]neigh) (label int, nearest float64, err error) {
 	if !k.fitted {
 		return 0, 0, ErrNotFitted

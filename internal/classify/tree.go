@@ -66,6 +66,7 @@ func majority(samples []Sample) int {
 	best, bestV := samples[0].Label, -1
 	// Deterministic tie-break: smallest label wins among maxima.
 	labels := make([]int, 0, len(votes))
+	//moevet:allow maporder collected labels are sorted immediately below
 	for l := range votes {
 		labels = append(labels, l)
 	}
@@ -82,12 +83,16 @@ func gini(counts map[int]int, n int) float64 {
 	if n == 0 {
 		return 0
 	}
-	g := 1.0
+	// Accumulate the squared counts in integer space — exact, hence
+	// iteration-order independent — and divide once. The old per-label
+	// float subtraction g -= (c/n)² rounded differently depending on the
+	// map's per-run iteration order, so split selection (and with it whole
+	// trees) could differ between bit-identical invocations.
+	var ss int
 	for _, c := range counts {
-		p := float64(c) / float64(n)
-		g -= p * p
+		ss += c * c
 	}
-	return g
+	return 1 - float64(ss)/(float64(n)*float64(n))
 }
 
 func pure(samples []Sample) bool {
@@ -265,6 +270,7 @@ func (rf *RandomForest) Predict(x []float64) (int, error) {
 		votes[l]++
 	}
 	labels := make([]int, 0, len(votes))
+	//moevet:allow maporder collected labels are sorted immediately below
 	for l := range votes {
 		labels = append(labels, l)
 	}

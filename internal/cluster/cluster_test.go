@@ -167,6 +167,7 @@ func TestSpawnRejectsWrongState(t *testing.T) {
 		t.Errorf("queued spawn: %v", err)
 	}
 	app.State = StateReady
+	//moevet:allow settledstate hand-built app with no engine run; probing Spawn's no-work rejection
 	app.RemainingGB = 0
 	if _, err := c.Spawn(app, c.Nodes()[0], 5, 5); !errors.Is(err, ErrAppNotSchedulable) {
 		t.Errorf("no-work spawn: %v", err)
@@ -255,6 +256,7 @@ func TestOOMKillAndBlacklist(t *testing.T) {
 	// An empty blacklisted node is usable again (isolation re-run).
 	for i, x := range n.Foreign {
 		_ = i
+		//moevet:allow settledstate forcing co-runner completion without an engine to test blacklisted-node reuse
 		x.done = true
 	}
 	n.Foreign = nil

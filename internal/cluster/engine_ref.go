@@ -150,6 +150,8 @@ func (c *Cluster) refWaitingApps() []*App {
 // advance (the window where stored rates are supposed to be fresh); it
 // deliberately omits enforceOOM, which the engine's own pass already applied
 // to every node whose memory changed.
+//
+//moevet:allow refpair pure cross-checker comparing stored rates to a fresh scan; no live twin by design
 func (c *Cluster) refCheckRates() string {
 	for _, n := range c.nodes {
 		sumD := n.CPUDemand()
@@ -212,6 +214,8 @@ func (c *Cluster) refCheckRates() string {
 // bookkeeping itself: no settle point may lie in the future. Like
 // refCheckRates it must run in the window after refreshDeadlines and before
 // advance.
+//
+//moevet:allow refpair pure cross-checker comparing stored deadlines to a fresh scan; no live twin by design
 func (c *Cluster) refCheckDeadlines(share float64) string {
 	const tiny = 1e-9
 	for _, a := range c.apps {

@@ -22,10 +22,12 @@ func TestCompletionEntryStaleness(t *testing.T) {
 	if e.stale() {
 		t.Error("matching deadline on a live app must be fresh")
 	}
+	//moevet:allow settledstate staleness unit test drives the stored deadline by hand; no engine is running
 	a.deadline = 60 // re-registered later: the old entry dies in place
 	if !e.stale() {
 		t.Error("entry must go stale when the stored deadline moves")
 	}
+	//moevet:allow settledstate staleness unit test drives the stored deadline by hand; no engine is running
 	a.deadline = 50
 	a.State = StateDone
 	if !e.stale() {
@@ -37,6 +39,7 @@ func TestCompletionEntryStaleness(t *testing.T) {
 	if fe.stale() {
 		t.Error("matching deadline on a live foreign task must be fresh")
 	}
+	//moevet:allow settledstate staleness unit test completes the task by hand; no engine is running
 	f.done = true
 	if !fe.stale() {
 		t.Error("entry for a done foreign task must be stale")
@@ -50,6 +53,7 @@ func TestCompletionHeapDuplicatePushes(t *testing.T) {
 	var h completionHeap
 	a := &App{ID: 7, State: StateRunning}
 	for i, at := range []float64{100, 40, 70, 55} {
+		//moevet:allow settledstate heap unit test re-registers deadlines by hand; no engine is running
 		a.deadline = at
 		h.push(completionEntry{at: at, seq: uint64(i + 1), app: a})
 	}
@@ -87,6 +91,7 @@ func TestCompletionHeapEqualDeadlineFIFO(t *testing.T) {
 	// Invalidate every third app and push fresh later deadlines for them, so
 	// compact has real work and survivors keep their original seqs.
 	for i := 0; i < n; i += 3 {
+		//moevet:allow settledstate compaction unit test invalidates deadlines by hand; no engine is running
 		apps[i].deadline = 300
 		h.push(completionEntry{at: 300, seq: uint64(n + i + 1), app: apps[i]})
 	}
@@ -124,6 +129,7 @@ func TestCompletionHeapRandomizedMinAgreement(t *testing.T) {
 	var apps []*App
 	register := func(a *App, at float64) {
 		seq++
+		//moevet:allow settledstate randomized heap test mirrors registrations by hand; no engine is running
 		a.deadline = at
 		h.push(completionEntry{at: at, seq: seq, app: a})
 		mirror[a] = reg{at: at, seq: seq}
@@ -148,6 +154,7 @@ func TestCompletionHeapRandomizedMinAgreement(t *testing.T) {
 		default: // pop the live minimum and check it against the scan
 			var want *App
 			best := reg{at: math.Inf(1)}
+			//moevet:allow maporder min selection under the (at, seq) total order has a unique winner
 			for a, r := range mirror {
 				if r.at < best.at || (r.at == best.at && r.seq < best.seq) {
 					best, want = r, a

@@ -1,0 +1,67 @@
+package cluster
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// FuzzCompletionHeapMatchesScan fuzzes the completion-deadline heap against
+// the full-scan reference in engine_ref.go. Each input seeds a short random
+// workload (optionally with foreign co-runners and trace sampling); the
+// Cluster.checkEvent hook then fires on every engine event — rates fresh,
+// advance about to run — where the heap-top event pick must equal the
+// full-scan minimum float-for-float and every stored deadline must equal a
+// fresh recompute from the settled state. This is the differential property
+// test of property_test.go reshaped so the fuzzer, rather than a fixed seed
+// loop, explores the workload space.
+func FuzzCompletionHeapMatchesScan(f *testing.F) {
+	f.Add(int64(1), false, false)
+	f.Add(int64(42), true, false)
+	f.Add(int64(7), false, true)
+	f.Add(int64(-3), true, true)
+	f.Fuzz(func(t *testing.T, seed int64, foreign, trace bool) {
+		r := rand.New(rand.NewSource(seed))
+		jobs := randomJobs(r)
+		cfg := DefaultConfig()
+		if trace {
+			cfg.TraceInterval = 40
+		}
+		cfg.ReleaseForeignMem = foreign
+		c := New(cfg)
+		if foreign {
+			nodes := len(c.Nodes())
+			for i, fn := 0, 1+r.Intn(2); i < fn; i++ {
+				if _, err := c.AddForeign(r.Intn(nodes), "co-runner",
+					0.2+0.5*r.Float64(), 10+25*r.Float64(), 40+60*r.Float64()); err != nil {
+					t.Fatalf("foreign: %v", err)
+				}
+			}
+		}
+		events := 0
+		c.checkEvent = func(share, dt float64, ok bool) {
+			events++
+			if ref := c.refProfilingShare(); share != ref {
+				t.Fatalf("event %d: profiling share %v, reference %v", events, share, ref)
+			}
+			refDt, refOK := c.refNextEventDt(share)
+			if ok != refOK || (ok && dt != refDt) {
+				t.Fatalf("event %d: next event dt (%v,%v), reference (%v,%v)", events, dt, ok, refDt, refOK)
+			}
+			if diff := c.refCheckDeadlines(share); diff != "" {
+				t.Fatalf("event %d: %s", events, diff)
+			}
+		}
+		res, err := c.Run(jobs, greedyScheduler{})
+		if err != nil {
+			t.Fatalf("run: %v", err)
+		}
+		if events == 0 {
+			t.Fatal("differential hook never fired")
+		}
+		for _, a := range res.Apps {
+			if a.State != StateDone {
+				t.Fatalf("app %d finished in state %v", a.ID, a.State)
+			}
+		}
+	})
+}

@@ -84,6 +84,7 @@ func UtilizationImbalance(tr *cluster.Trace) (Imbalance, error) {
 		im.MeanUtilization = utilSum / float64(utilN)
 	}
 	im.NodeMeanMin = math.Inf(1)
+	//moevet:allow maporder min/max reduction commutes exactly; no other state is touched
 	for id, s := range nodeSum {
 		m := s / float64(nodeN[id])
 		if m < im.NodeMeanMin {

@@ -65,6 +65,7 @@ func TestLoadRejectsCorruptInput(t *testing.T) {
 			"programs":[]}`,
 		"short scaler": `{"version":1,"scaler":{"min":[1],"max":[2]}}`,
 	}
+	//moevet:allow maporder subcases are independent; order affects only failure-log order
 	for name, in := range cases {
 		if _, err := Load(strings.NewReader(in)); err == nil {
 			t.Errorf("%s: Load should fail", name)
