@@ -21,6 +21,16 @@
 //	moeschedsim -policy moe -fleet stragglers -placer speed
 //	moeschedsim -policy moe -node-events drain@600:3,fail@900:7,join@1200
 //
+// Failure domains: -racks stamps the fleet with rack/zone topology,
+// -rack-storm replays a seeded correlated storm over whole racks
+// (drains:fails@start:span[:warn[:rejoin]]), -migrate evacuates draining
+// nodes via checkpointed migration, and -retry-budget replaces the permanent
+// per-node OOM blacklist with expiring cool-off entries. Resilience counters
+// (migrations, OOM retries, lost work) appear in both text and -json output:
+//
+//	moeschedsim -policy moe -arrivals poisson -racks 8:2 -rack-storm 1:2@400:600:60:180 -migrate
+//	moeschedsim -policy moe -arrivals poisson -racks 4 -rack-storm 0:1@300:300 -migrate -retry-budget 2
+//
 // Multi-tenant priority classes (open-system mode): tag the stream with
 // tenant classes, schedule weighted FCFS with class-aware placement, and
 // optionally let high-priority arrivals preempt preemptible executors:
@@ -141,31 +151,105 @@ func buildPolicy(name, placer string, seed int64, adapt, noServing bool) (*sched
 	return d, nil
 }
 
-// buildFleet resolves -fleet into per-node specs; nil means the homogeneous
-// default platform.
-func buildFleet(kind string, nodes int, seed int64) ([]cluster.NodeSpec, error) {
+// buildFleet resolves -fleet (and the -racks topology) into per-node specs;
+// nil means the homogeneous default platform.
+func buildFleet(kind string, nodes, racks, zones int, seed int64) ([]cluster.NodeSpec, error) {
 	if nodes <= 0 {
 		return nil, fmt.Errorf("need a positive -nodes, got %d", nodes)
 	}
 	rng := rand.New(rand.NewSource(seed + 3))
+	var fleet []workload.NodeClass
+	var err error
 	switch kind {
 	case "", "uniform":
-		return nil, nil
+		if racks == 0 {
+			return nil, nil
+		}
+		fleet, err = workload.UniformFleet(nodes, workload.PaperNode())
 	case "bimodal":
-		fleet, err := workload.BimodalFleet(nodes, workload.BigNode(), workload.LittleNode(), 0.5, rng)
-		if err != nil {
-			return nil, err
-		}
-		return cluster.SpecsFrom(fleet), nil
+		fleet, err = workload.BimodalFleet(nodes, workload.BigNode(), workload.LittleNode(), 0.5, rng)
 	case "stragglers":
-		fleet, err := workload.StragglerFleet(nodes, workload.PaperNode(), 0.25, 0.4, rng)
-		if err != nil {
-			return nil, err
-		}
-		return cluster.SpecsFrom(fleet), nil
+		fleet, err = workload.StragglerFleet(nodes, workload.PaperNode(), 0.25, 0.4, rng)
 	default:
 		return nil, fmt.Errorf("unknown fleet %q (uniform|bimodal|stragglers)", kind)
 	}
+	if err != nil {
+		return nil, err
+	}
+	if racks > 0 {
+		if fleet, err = workload.AssignRacks(fleet, racks, zones); err != nil {
+			return nil, err
+		}
+	}
+	return cluster.SpecsFrom(fleet), nil
+}
+
+// parseRacks parses the -racks syntax "racks[:zones]"; zones defaults to 1.
+// Empty means no topology.
+func parseRacks(s string) (racks, zones int, err error) {
+	if s == "" {
+		return 0, 0, nil
+	}
+	rackStr, zoneStr, hasZones := strings.Cut(s, ":")
+	if racks, err = strconv.Atoi(rackStr); err != nil || racks <= 0 {
+		return 0, 0, fmt.Errorf("-racks %q: want racks[:zones] with a positive rack count", s)
+	}
+	zones = 1
+	if hasZones {
+		if zones, err = strconv.Atoi(zoneStr); err != nil || zones <= 0 {
+			return 0, 0, fmt.Errorf("-racks %q: bad zone count %q", s, zoneStr)
+		}
+	}
+	return racks, zones, nil
+}
+
+// parseRackStorm parses the -rack-storm syntax
+// "drains:fails@start:span[:warn[:rejoin]]": drains racks drain gracefully,
+// fails racks fail (after a warn-second warning drain when given), each at a
+// seeded uniform time in [start, start+span), and every lost node rejoins
+// rejoin seconds after it went away (0 = immediate backfill).
+func parseRackStorm(s string) (drains, fails int, start, span, warn, rejoin float64, err error) {
+	bad := func(what string) error {
+		return fmt.Errorf("-rack-storm %q: %s (want drains:fails@start:span[:warn[:rejoin]])", s, what)
+	}
+	counts, window, ok := strings.Cut(s, "@")
+	if !ok {
+		err = bad("missing @window")
+		return
+	}
+	drainStr, failStr, ok := strings.Cut(counts, ":")
+	if !ok {
+		err = bad("missing rack counts")
+		return
+	}
+	if drains, err = strconv.Atoi(drainStr); err != nil || drains < 0 {
+		err = bad(fmt.Sprintf("bad drain count %q", drainStr))
+		return
+	}
+	if fails, err = strconv.Atoi(failStr); err != nil || fails < 0 {
+		err = bad(fmt.Sprintf("bad fail count %q", failStr))
+		return
+	}
+	parts := strings.Split(window, ":")
+	if len(parts) < 2 || len(parts) > 4 {
+		err = bad("window wants 2 to 4 fields")
+		return
+	}
+	vals := make([]float64, len(parts))
+	for i, p := range parts {
+		if vals[i], err = strconv.ParseFloat(p, 64); err != nil {
+			err = bad(fmt.Sprintf("bad number %q", p))
+			return
+		}
+	}
+	start, span = vals[0], vals[1]
+	if len(vals) > 2 {
+		warn = vals[2]
+	}
+	if len(vals) > 3 {
+		rejoin = vals[3]
+	}
+	return drains, fails, start, span, warn, rejoin, nil
 }
 
 // parseNodeEvents parses the -node-events syntax: a comma-separated list of
@@ -340,6 +424,14 @@ type jsonOutput struct {
 	OOMKills     int     `json:"oomKills"`
 	FailKills    int     `json:"failKills"`
 
+	// Resilience counters: executors evacuated from draining nodes, OOM
+	// blacklist entries granted a cool-off, and work charged back after
+	// kills (GB). Omitted when zero, so runs without failure-domain flags
+	// print exactly as before.
+	Migrations int     `json:"migrations,omitempty"`
+	OOMRetries int     `json:"oomRetries,omitempty"`
+	LostWorkGB float64 `json:"lostWorkGB,omitempty"`
+
 	// Closed-batch only: comparison against the serial isolated baseline.
 	ANTTReductionPct *float64 `json:"anttReductionPct,omitempty"`
 	SpeedupVsSerial  *float64 `json:"speedupVsSerial,omitempty"`
@@ -365,6 +457,11 @@ func main() {
 		fleet          = flag.String("fleet", "uniform", "node fleet: uniform|bimodal|stragglers")
 		nodes          = flag.Int("nodes", 40, "initial fleet size")
 		nodeEvents     = flag.String("node-events", "", "timed lifecycle events, e.g. drain@600:3,fail@900:7,join@1200")
+		racks          = flag.String("racks", "", "fleet topology \"racks[:zones]\", e.g. 8:2 (empty = no topology)")
+		rackStorm      = flag.String("rack-storm", "", "seeded correlated rack storm \"drains:fails@start:span[:warn[:rejoin]]\" (requires -racks)")
+		migrate        = flag.Bool("migrate", false, "gracefully evacuate draining nodes: checkpoint each executor and migrate it (or hand its state to a sibling)")
+		retryBudget    = flag.Int("retry-budget", 0, "per-app OOM retry budget: blacklist entries cool off (doubling backoff) this many times before turning permanent (0 = legacy permanent blacklist)")
+		refreshSizing  = flag.Bool("refresh-sizing", false, "re-derive executor-fleet caps as capacity frees instead of freezing them at admission")
 		arrivals       = flag.String("arrivals", "", "open-system arrival process: poisson|bursty|diurnal (empty = closed batch)")
 		drift          = flag.String("drift", "", "non-stationary open-system workload: growth|regimes (incompatible with -arrivals)")
 		adapt          = flag.Bool("adapt", false, "use the feedback-driven adaptive MoE pipeline (requires -policy moe)")
@@ -452,13 +549,35 @@ func main() {
 			fail(fmt.Errorf("-preempt needs a class mix with at least one preemptible class; set -classes with a :preempt option"))
 		}
 	}
-	specs, err := buildFleet(*fleet, *nodes, *seed)
+	rackCount, zoneCount, err := parseRacks(*racks)
+	if err != nil {
+		fail(err)
+	}
+	if *rackStorm != "" && rackCount == 0 {
+		fail(fmt.Errorf("-rack-storm drains whole racks and needs a -racks topology"))
+	}
+	if *retryBudget < 0 {
+		fail(fmt.Errorf("-retry-budget %d: want a non-negative budget", *retryBudget))
+	}
+	specs, err := buildFleet(*fleet, *nodes, rackCount, zoneCount, *seed)
 	if err != nil {
 		fail(err)
 	}
 	events, err := parseNodeEvents(*nodeEvents)
 	if err != nil {
 		fail(err)
+	}
+	if *rackStorm != "" {
+		drains, fails, start, span, warn, rejoin, err := parseRackStorm(*rackStorm)
+		if err != nil {
+			fail(err)
+		}
+		storm, err := cluster.RackStormEvents(specs, drains, fails, start, span, warn, rejoin,
+			rand.New(rand.NewSource(*seed+11)))
+		if err != nil {
+			fail(err)
+		}
+		events = append(events, storm...)
 	}
 	d, err := buildPolicy(*policy, *placer, *seed, *adapt, *noServing)
 	if err != nil {
@@ -477,6 +596,9 @@ func main() {
 	if *legacySizing {
 		cfg.FleetAwareSizing = false
 	}
+	cfg.MigrateOnDrain = *migrate
+	cfg.OOMRetryBudget = *retryBudget
+	cfg.RefreshFleetSizing = *refreshSizing
 	var c *cluster.Cluster
 	if specs == nil {
 		c = cluster.New(cfg)
@@ -551,6 +673,8 @@ func main() {
 			STP:          run.STP, ANTT: run.ANTT,
 			MakespanSec: run.MakespanSec,
 			OOMKills:    run.OOMKills, FailKills: res.FailKills,
+			Migrations: res.Migrations, OOMRetries: res.OOMRetries,
+			LostWorkGB: res.LostWorkGB,
 		}
 		if *placer != "firstfit" {
 			out.Placer = *placer
@@ -623,6 +747,15 @@ func main() {
 	fmt.Printf("OOM kills     %d\n", run.OOMKills)
 	if res.FailKills > 0 {
 		fmt.Printf("fail kills    %d   (executors lost to node failures)\n", res.FailKills)
+	}
+	if res.Migrations > 0 {
+		fmt.Printf("migrations    %d   (executors evacuated from draining nodes)\n", res.Migrations)
+	}
+	if res.OOMRetries > 0 {
+		fmt.Printf("OOM retries   %d   (blacklist entries granted a cool-off)\n", res.OOMRetries)
+	}
+	if res.LostWorkGB > 0 {
+		fmt.Printf("lost work     %.1f GB (charged back after kills)\n", res.LostWorkGB)
 	}
 
 	if open {

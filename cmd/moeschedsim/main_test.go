@@ -44,17 +44,17 @@ func TestParseNodeEvents(t *testing.T) {
 }
 
 func TestBuildFleet(t *testing.T) {
-	if specs, err := buildFleet("uniform", 40, 1); err != nil || specs != nil {
+	if specs, err := buildFleet("uniform", 40, 0, 0, 1); err != nil || specs != nil {
 		t.Errorf("uniform fleet: %v, %v (want nil specs = default platform)", specs, err)
 	}
-	specs, err := buildFleet("bimodal", 10, 1)
+	specs, err := buildFleet("bimodal", 10, 0, 0, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(specs) != 10 {
 		t.Errorf("bimodal fleet size = %d, want 10", len(specs))
 	}
-	again, err := buildFleet("bimodal", 10, 1)
+	again, err := buildFleet("bimodal", 10, 0, 0, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -63,10 +63,10 @@ func TestBuildFleet(t *testing.T) {
 			t.Errorf("node %d differs across identical seeds", i)
 		}
 	}
-	if _, err := buildFleet("exotic", 10, 1); err == nil {
+	if _, err := buildFleet("exotic", 10, 0, 0, 1); err == nil {
 		t.Error("unknown fleet kind accepted")
 	}
-	if _, err := buildFleet("stragglers", 0, 1); err == nil {
+	if _, err := buildFleet("stragglers", 0, 0, 0, 1); err == nil {
 		t.Error("zero-node fleet accepted")
 	}
 }
@@ -159,5 +159,78 @@ func TestBuildPolicyAdapt(t *testing.T) {
 	}
 	if _, err := buildPolicy("pairwise", "firstfit", 1, true, false); err == nil {
 		t.Error("-adapt with a non-MoE policy must be rejected")
+	}
+}
+
+func TestParseRacks(t *testing.T) {
+	if r, z, err := parseRacks(""); err != nil || r != 0 || z != 0 {
+		t.Errorf("empty -racks: (%d,%d,%v), want (0,0,nil)", r, z, err)
+	}
+	if r, z, err := parseRacks("8"); err != nil || r != 8 || z != 1 {
+		t.Errorf("-racks 8: (%d,%d,%v), want (8,1,nil)", r, z, err)
+	}
+	if r, z, err := parseRacks("8:2"); err != nil || r != 8 || z != 2 {
+		t.Errorf("-racks 8:2: (%d,%d,%v), want (8,2,nil)", r, z, err)
+	}
+	for _, bad := range []string{"0", "-3", "x", "8:", "8:0", "8:-1", "8:y", ":2"} {
+		if _, _, err := parseRacks(bad); err == nil {
+			t.Errorf("-racks %q accepted", bad)
+		}
+	}
+}
+
+func TestParseRackStorm(t *testing.T) {
+	d, f, start, span, warn, rejoin, err := parseRackStorm("1:2@400:600:60:180")
+	if err != nil || d != 1 || f != 2 || start != 400 || span != 600 || warn != 60 || rejoin != 180 {
+		t.Errorf("full storm spec: (%d,%d,%v,%v,%v,%v,%v)", d, f, start, span, warn, rejoin, err)
+	}
+	d, f, start, span, warn, rejoin, err = parseRackStorm("0:1@300:300")
+	if err != nil || d != 0 || f != 1 || start != 300 || span != 300 || warn != 0 || rejoin != 0 {
+		t.Errorf("minimal storm spec: (%d,%d,%v,%v,%v,%v,%v)", d, f, start, span, warn, rejoin, err)
+	}
+	for _, bad := range []string{
+		"", "1:2", "@400:600", "1@400:600", "x:2@400:600", "1:y@400:600",
+		"-1:2@400:600", "1:-2@400:600", "1:2@400", "1:2@400:600:60:180:9", "1:2@a:600",
+	} {
+		if _, _, _, _, _, _, err := parseRackStorm(bad); err == nil {
+			t.Errorf("-rack-storm %q accepted", bad)
+		}
+	}
+}
+
+func TestBuildFleetRacked(t *testing.T) {
+	specs, err := buildFleet("uniform", 12, 4, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 12 {
+		t.Fatalf("racked uniform fleet size = %d, want 12", len(specs))
+	}
+	racks := map[string]bool{}
+	zones := map[string]bool{}
+	for i, s := range specs {
+		if s.Rack == "" || s.Zone == "" {
+			t.Fatalf("node %d unracked: %+v", i, s)
+		}
+		racks[s.Rack] = true
+		zones[s.Zone] = true
+	}
+	if len(racks) != 4 || len(zones) != 2 {
+		t.Errorf("%d racks and %d zones, want 4 and 2", len(racks), len(zones))
+	}
+	specs, err = buildFleet("bimodal", 10, 2, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if specs[0].Rack == "" {
+		t.Error("bimodal fleet not racked")
+	}
+	// More racks than nodes must fail, and an unracked uniform fleet stays
+	// the nil default platform.
+	if _, err := buildFleet("uniform", 3, 4, 1, 1); err == nil {
+		t.Error("4 racks over 3 nodes accepted")
+	}
+	if specs, err := buildFleet("uniform", 12, 0, 0, 1); err != nil || specs != nil {
+		t.Errorf("unracked uniform fleet: (%v, %v), want nil default", specs, err)
 	}
 }

@@ -11,6 +11,7 @@
 // beyond the paper) hetero (heterogeneous fleets and node churn, beyond the
 // paper) tenants (multi-tenant priority classes with preemption, beyond the
 // paper) drift (static vs adaptive MoE under non-stationary workloads,
+// beyond the paper) faults (failure-domain resilience under rack storms,
 // beyond the paper).
 package main
 
@@ -121,6 +122,13 @@ func runners() []runner {
 		}},
 		{"drift", func(ctx experiments.Context) ([]experiments.Table, error) {
 			r, err := experiments.Drift(ctx)
+			if err != nil {
+				return nil, err
+			}
+			return r.Tables(), nil
+		}},
+		{"faults", func(ctx experiments.Context) ([]experiments.Table, error) {
+			r, err := experiments.Faults(ctx)
 			if err != nil {
 				return nil, err
 			}

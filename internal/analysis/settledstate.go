@@ -32,6 +32,13 @@ var settledFields = map[string]map[string]bool{
 		"wakeAt": true,
 		"dirty":  true,
 	},
+	"Executor": {
+		// gateUntil feeds the rate formula and the wake heap exactly like
+		// App.startupUntil; processedGB is integrated at settle points like
+		// App.RemainingGB.
+		"gateUntil":   true,
+		"processedGB": true,
+	},
 }
 
 // settleTouchPoints are the engine methods allowed to mutate settled fields:
@@ -64,6 +71,12 @@ var settleTouchPoints = map[string]bool{
 	// lifecycle.go: a failing node takes its co-runners with it (marks them
 	// done/Lost and re-dirties the node).
 	"failNode": true,
+	// migrate.go: graceful drain migration settles the app, moves the
+	// executor (or hands its work to a sibling) and installs the
+	// checkpoint/restart gate.
+	"migrateFrom":     true,
+	"migrateExecutor": true,
+	"handoffExecutor": true,
 }
 
 // SettledState forbids writes (assignment, op-assignment, increment) to the

@@ -2,9 +2,14 @@ package cluster
 
 import (
 	"fmt"
+	"math"
 
 	"moespark/internal/workload"
 )
+
+// permanentBlock is the blacklist expiry of an entry that never lapses (the
+// legacy no-retry policy, or a spent retry budget).
+var permanentBlock = math.Inf(1)
 
 // AppState tracks an application through its lifecycle.
 type AppState int
@@ -81,6 +86,16 @@ type App struct {
 	// PreemptKills counts executors this app lost to higher-priority
 	// preemption; the lost work is charged back exactly like an OOM kill.
 	PreemptKills int
+	// Migrations counts executors this app had checkpointed and moved off a
+	// draining node (Config.MigrateOnDrain).
+	Migrations int
+	// OOMRetries counts OOM blacklist entries granted a cool-off expiry
+	// instead of permanence under Config.OOMRetryBudget.
+	OOMRetries int
+	// LostWorkGB is the total reprocessing work charged back to this app by
+	// OOM kills, node failures and preemptions (the actual RemainingGB
+	// increase after clamping, not the nominal fraction).
+	LostWorkGB float64
 
 	// State is the current lifecycle state.
 	State AppState
@@ -93,10 +108,13 @@ type App struct {
 	// which tracks the allocation actually granted.
 	PredictedGB float64
 
-	// blockedNodes lists nodes where an executor of this app was OOM-killed;
-	// the app is not rescheduled there (the paper re-runs OOM victims
-	// elsewhere, in isolation).
-	blockedNodes map[int]bool
+	// blockedNodes maps node IDs where an executor of this app was
+	// OOM-killed to the absolute time the blacklist entry expires: +Inf
+	// under the legacy permanent policy (the paper re-runs OOM victims
+	// elsewhere, in isolation), a finite cool-off under
+	// Config.OOMRetryBudget. Entries are dropped when their node leaves the
+	// fleet (Cluster.unblockNode).
+	blockedNodes map[int]float64
 	// startupUntil is the time processing can begin (launch latency).
 	startupUntil float64
 
@@ -151,16 +169,18 @@ func (a *App) WaitSec() float64 {
 	return w
 }
 
-// BlockedOn reports whether the node is blacklisted for this app after an
-// OOM kill.
-func (a *App) BlockedOn(n *Node) bool { return a.blockedNodes[n.ID] }
+// BlockedOn reports whether the node is blacklisted for this app at the
+// given instant (typically Cluster.Now()). Permanent entries carry a +Inf
+// expiry, so the legacy no-retry policy blocks at every instant.
+func (a *App) BlockedOn(n *Node, now float64) bool { return a.blockedNodes[n.ID] > now }
 
-// blockNode blacklists a node for this app.
-func (a *App) blockNode(n *Node) {
+// blockNode blacklists a node for this app until the given absolute time
+// (+Inf for permanently).
+func (a *App) blockNode(n *Node, until float64) {
 	if a.blockedNodes == nil {
-		a.blockedNodes = map[int]bool{}
+		a.blockedNodes = map[int]float64{}
 	}
-	a.blockedNodes[n.ID] = true
+	a.blockedNodes[n.ID] = until
 }
 
 // ExecutorOn reports whether the app already has an executor on the node.
@@ -207,7 +227,20 @@ type Executor struct {
 	// rate is the current processing rate (GB/s), recomputed between
 	// events.
 	rate float64
+	// gateUntil is a per-executor processing gate: the rate is zero until
+	// both it and the app-level startupUntil have passed. Zero for ordinary
+	// spawns (the app gate alone governs); migration sets it to the
+	// checkpoint-restore-plus-restart completion time on the new node.
+	gateUntil float64
+	// processedGB is the work this executor has processed since it spawned,
+	// integrated at the app's settle points. It is the state a graceful
+	// migration must checkpoint and move.
+	processedGB float64
 }
 
 // Rate returns the executor's current processing rate in GB/s.
 func (e *Executor) Rate() float64 { return e.rate }
+
+// ProcessedGB returns the work this executor has processed so far, exact as
+// of the owning app's last settle point.
+func (e *Executor) ProcessedGB() float64 { return e.processedGB }

@@ -185,7 +185,7 @@ func (oversubscribeScheduler) Prepare(*Cluster, *App) ProfilePlan { return Profi
 func (s oversubscribeScheduler) Schedule(c *Cluster) {
 	for _, app := range c.WaitingApps() {
 		for _, n := range c.Nodes() {
-			if app.ExecutorOn(n) || app.BlockedOn(n) {
+			if app.ExecutorOn(n) || app.BlockedOn(n, c.Now()) {
 				continue
 			}
 			if _, err := c.Spawn(app, n, s.reserve, app.RemainingGB); err == nil {
@@ -244,7 +244,7 @@ func TestOOMKillAndBlacklist(t *testing.T) {
 	if len(app.Executors) != 0 {
 		t.Error("victim executor not removed")
 	}
-	if !app.BlockedOn(n) {
+	if !app.BlockedOn(n, c.Now()) {
 		t.Error("app not blacklisted on the OOM node")
 	}
 	if app.State != StateReady {

@@ -100,9 +100,46 @@ type Config struct {
 	// the reference formula NodesFor unconditionally. On a uniform reference
 	// fleet with enough free nodes the two agree.
 	FleetAwareSizing bool
+	// RefreshFleetSizing, when set with FleetAwareSizing, re-derives each
+	// in-flight application's executor-fleet cap at every scheduling event
+	// instead of freezing it at admission, ratcheting the cap upward (never
+	// down) as capacity frees (see Cluster.refreshFleetCaps). Without it, a
+	// job admitted into a transiently packed fleet — a storm window, an
+	// arrival burst — keeps its one-or-two-executor cap for life and crawls
+	// on an otherwise idle cluster. Off by default: the historical goldens
+	// pin admission-time-only sizing, straggler pathology included.
+	RefreshFleetSizing bool
 	// TraceInterval, when positive, samples per-node utilization every so
 	// many simulated seconds (Figure 7).
 	TraceInterval float64
+	// MigrateOnDrain, when set, gracefully evacuates a draining node: each
+	// resident executor is checkpointed and moved to a feasible node (free
+	// reservation, no same-app executor, not blacklisted) instead of running
+	// to completion in place. The moved executor keeps its reservation,
+	// allocation and accumulated progress; it resumes after a gate of
+	// processedGB / MigrateCheckpointGBps + MigrateRestartSec. Off by
+	// default: migration changes drain dynamics, and the PR1-8 goldens pin
+	// the run-in-place behaviour.
+	MigrateOnDrain bool
+	// MigrateCheckpointGBps is the bandwidth at which an executor's
+	// processed state is checkpointed and restored during a migration
+	// (serialize + ship + rehydrate, end to end). Non-positive means the
+	// checkpoint is free and only MigrateRestartSec gates the move.
+	MigrateCheckpointGBps float64
+	// MigrateRestartSec is the fixed restart penalty a migrated executor
+	// pays on its new node (container allocation, JVM spin-up) on top of the
+	// checkpoint time.
+	MigrateRestartSec float64
+	// OOMRetryBudget, when positive, replaces the permanent per-node OOM
+	// blacklist with a retry budget: the app's first OOMRetryBudget
+	// blacklist entries expire after a cool-off (OOMCoolOffSec, doubling
+	// per retry consumed — deterministic exponential backoff), and only
+	// once the budget is exhausted do entries become permanent again. Zero
+	// keeps the legacy permanent blacklist the goldens pin.
+	OOMRetryBudget int
+	// OOMCoolOffSec is the base cool-off of the first retried blacklist
+	// entry under OOMRetryBudget.
+	OOMCoolOffSec float64
 }
 
 // DefaultConfig returns the paper's platform.
@@ -131,6 +168,16 @@ func DefaultConfig() Config {
 		ReleaseForeignMem:   true,
 		FleetAwareSizing:    true,
 		TraceInterval:       0,
+		// Resilience features stay opt-in: flipping them moves every golden
+		// that includes a drain or an OOM kill. The cost knobs carry
+		// defaults so enabling the features needs no further tuning: 0.5
+		// GB/s end-to-end checkpoint bandwidth, a restart penalty matching
+		// the startup latency, and a 4-minute first cool-off.
+		MigrateOnDrain:        false,
+		MigrateCheckpointGBps: 0.5,
+		MigrateRestartSec:     8,
+		OOMRetryBudget:        0,
+		OOMCoolOffSec:         240,
 	}
 }
 

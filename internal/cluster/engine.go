@@ -140,6 +140,9 @@ type Cluster struct {
 	totalOOM          int
 	totalFailKills    int
 	totalPreemptKills int
+	totalMigrations   int
+	totalRetries      int
+	totalLostGB       float64
 }
 
 // New creates an idle homogeneous cluster: cfg.Nodes nodes, each with the
@@ -203,6 +206,17 @@ func (c *Cluster) TotalFailKills() int { return c.totalFailKills }
 
 // TotalPreemptKills counts executors killed by higher-priority preemption.
 func (c *Cluster) TotalPreemptKills() int { return c.totalPreemptKills }
+
+// TotalMigrations counts executors gracefully moved off draining nodes.
+func (c *Cluster) TotalMigrations() int { return c.totalMigrations }
+
+// TotalOOMRetries counts OOM blacklist entries granted a cool-off expiry
+// under Config.OOMRetryBudget.
+func (c *Cluster) TotalOOMRetries() int { return c.totalRetries }
+
+// TotalLostWorkGB is the reprocessing work charged back across all kills
+// (OOM, node failure, preemption): the sum of actual RemainingGB increases.
+func (c *Cluster) TotalLostWorkGB() float64 { return c.totalLostGB }
 
 // AvailableNodes counts nodes currently accepting placements.
 func (c *Cluster) AvailableNodes() int {
@@ -316,6 +330,35 @@ func (c *Cluster) fleetFor(inputGB float64) int {
 	return k
 }
 
+// refreshFleetCaps re-derives the executor-fleet cap of every in-flight
+// application from the nodes free right now, ratcheting the cap upward when
+// capacity has freed that the admission-time sizing could not see. Without
+// this, a job admitted into a transiently packed fleet — a storm window, a
+// burst of arrivals — is capped at one or two executors for its whole
+// lifetime and crawls on an otherwise idle cluster. The cap never shrinks
+// (executors are never revoked by sizing), and an app already at the
+// reference-formula size is skipped, so admissions that saw a free fleet —
+// every closed-system run — are bit-for-bit unchanged either way.
+func (c *Cluster) refreshFleetCaps() {
+	if !c.cfg.RefreshFleetSizing || !c.cfg.FleetAwareSizing {
+		// Off (historical admission-time-only sizing), or the static
+		// platform formula applies, which does not depend on free capacity
+		// and is already final.
+		return
+	}
+	for _, a := range c.active {
+		if a.State != StateReady && a.State != StateRunning {
+			continue
+		}
+		if a.RemainingGB <= 0 || a.MaxExecutors >= c.cfg.NodesFor(a.Job.InputGB) {
+			continue
+		}
+		if k := c.fleetFor(a.Job.InputGB); k > a.MaxExecutors {
+			a.MaxExecutors = k
+		}
+	}
+}
+
 // AddForeign pins a foreign co-runner task (e.g. a PARSEC benchmark) to a
 // node, typically before the run starts. A task added by a mid-run driver
 // starts at the cluster's current clock, not at t=0.
@@ -383,7 +426,7 @@ func (c *Cluster) Spawn(app *App, node *Node, reserveGB, itemsGB float64) (*Exec
 	if app.ExecutorOn(node) {
 		return nil, ErrAlreadyOnNode
 	}
-	if app.BlockedOn(node) && len(node.Executors) > 0 {
+	if app.BlockedOn(node, c.now) && len(node.Executors) > 0 {
 		// After an OOM kill the app avoids the node while it is shared; an
 		// empty node is fine again (the paper re-runs OOM victims in
 		// isolation).
@@ -504,6 +547,15 @@ type Result struct {
 	FailKills int
 	// PreemptKills counts executors killed by higher-priority preemption.
 	PreemptKills int
+	// Migrations counts executors gracefully moved off draining nodes
+	// (Config.MigrateOnDrain).
+	Migrations int
+	// OOMRetries counts OOM blacklist entries granted a cool-off expiry
+	// instead of permanence (Config.OOMRetryBudget).
+	OOMRetries int
+	// LostWorkGB is the total reprocessing work charged back by OOM kills,
+	// node failures and preemptions over the whole run.
+	LostWorkGB float64
 	// Trace holds utilization samples when tracing was enabled.
 	Trace *Trace
 }
@@ -587,6 +639,7 @@ func (c *Cluster) RunOpen(subs []Submission, sched Scheduler) (*Result, error) {
 			return c.result(), nil
 		}
 		c.admitProfiling(first)
+		c.refreshFleetCaps()
 		sched.Schedule(c)
 		c.recomputeRates()
 		// The profiling share is a pure function of the profiling set, which
@@ -779,10 +832,17 @@ func (c *Cluster) rateNode(n *Node) {
 	}
 	wake := math.Inf(1)
 	for _, e := range n.Executors {
-		if e.App.startupUntil > c.now {
+		// The effective gate is the later of the app-level startup and the
+		// executor's own migration gate; until it passes the executor holds a
+		// zero rate and the node wakes (re-dirties) the instant it expires.
+		gate := e.App.startupUntil
+		if e.gateUntil > gate {
+			gate = e.gateUntil
+		}
+		if gate > c.now {
 			e.rate = 0
-			if e.App.startupUntil < wake {
-				wake = e.App.startupUntil
+			if gate < wake {
+				wake = gate
 			}
 			continue
 		}
@@ -832,10 +892,15 @@ func (c *Cluster) reclaimExecutor(victim *Executor) {
 	c.settleApp(app)
 	c.touchApp(app)
 	c.removeExecutor(victim)
+	before := app.RemainingGB
 	app.RemainingGB += c.cfg.OOMReprocessFrac * victim.ItemsGB
 	if app.RemainingGB > app.Job.InputGB {
 		app.RemainingGB = app.Job.InputGB
 	}
+	// Degradation accounting: the actual post-clamp increase is the work
+	// genuinely lost, the quantity the faults study's goodput is built on.
+	app.LostWorkGB += app.RemainingGB - before
+	c.totalLostGB += app.RemainingGB - before
 	if len(app.Executors) == 0 && app.State == StateRunning {
 		app.State = StateReady
 	}
@@ -881,7 +946,7 @@ func (c *Cluster) PreemptFor(app *App, needGB, cpuDemand float64, maxAppsPerNode
 	bestNode := -1
 	c.bestVictimBuf = c.bestVictimBuf[:0]
 	for i, n := range c.nodes {
-		if !n.Available() || app.ExecutorOn(n) || (app.BlockedOn(n) && len(n.Executors) > 0) {
+		if !n.Available() || app.ExecutorOn(n) || (app.BlockedOn(n, c.now) && len(n.Executors) > 0) {
 			continue
 		}
 		target := needGB
@@ -944,7 +1009,7 @@ func (c *Cluster) enforceOOM(n *Node) {
 		victim := n.Executors[len(n.Executors)-1]
 		victim.App.OOMKills++
 		c.totalOOM++
-		victim.App.blockNode(n)
+		victim.App.blockNode(n, c.blacklistUntil(victim.App))
 		if c.observer != nil {
 			c.observer.Observe(c, victim, ExecOOMKilled)
 		}
@@ -1197,6 +1262,9 @@ func (c *Cluster) result() *Result {
 		OOMKills:     c.totalOOM,
 		FailKills:    c.totalFailKills,
 		PreemptKills: c.totalPreemptKills,
+		Migrations:   c.totalMigrations,
+		OOMRetries:   c.totalRetries,
+		LostWorkGB:   c.totalLostGB,
 		Trace:        c.trace,
 	}
 }

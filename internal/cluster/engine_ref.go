@@ -60,13 +60,27 @@ func (c *Cluster) refNextEventDt(share float64) (float64, bool) {
 				}
 			}
 		case StateRunning:
-			if a.startupUntil > c.now {
-				if dt := a.startupUntil - c.now; dt < best {
-					best = dt
+			// Per-executor candidates mirror the wake heap exactly: each
+			// executor whose effective gate (app startup or its own migration
+			// gate, whichever is later) lies in the future contributes that
+			// gate — the engine stores the per-node minimum as Node.wakeAt,
+			// and a min over all gates equals a min over per-node minima.
+			for _, e := range a.Executors {
+				gate := a.startupUntil
+				if e.gateUntil > gate {
+					gate = e.gateUntil
 				}
-			} else if r := appRate(a); r > tiny {
-				if dt := a.settledAt + a.RemainingGB/r - c.now; dt < best {
-					best = dt
+				if gate > c.now {
+					if dt := gate - c.now; dt < best {
+						best = dt
+					}
+				}
+			}
+			if a.startupUntil <= c.now {
+				if r := appRate(a); r > tiny {
+					if dt := a.settledAt + a.RemainingGB/r - c.now; dt < best {
+						best = dt
+					}
 				}
 			}
 		}
@@ -167,8 +181,12 @@ func (c *Cluster) refCheckRates() string {
 			cpuFactor = cap / sumD
 		}
 		for _, e := range n.Executors {
+			gate := e.App.startupUntil
+			if e.gateUntil > gate {
+				gate = e.gateUntil
+			}
 			var want float64
-			if e.App.startupUntil > c.now {
+			if gate > c.now {
 				want = 0
 			} else {
 				interference := 1 / (1 + c.cfg.InterferenceAlpha*(sumD-e.Demand))

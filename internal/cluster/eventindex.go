@@ -261,6 +261,14 @@ func (c *Cluster) settleApp(a *App) {
 	case StateRunning:
 		if r := appRate(a); r > 0 {
 			a.RemainingGB -= r * dt
+			// Attribute the same integral per executor: processedGB is the
+			// checkpoint volume a graceful migration must move, and every
+			// rate in the sum has been constant since settledAt too.
+			for _, e := range a.Executors {
+				if e.rate > 0 {
+					e.processedGB += e.rate * dt
+				}
+			}
 		}
 	}
 	a.settledAt = c.now

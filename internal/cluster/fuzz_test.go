@@ -3,6 +3,8 @@ package cluster
 import (
 	"math/rand"
 	"testing"
+
+	"moespark/internal/workload"
 )
 
 // FuzzCompletionHeapMatchesScan fuzzes the completion-deadline heap against
@@ -15,11 +17,13 @@ import (
 // test of property_test.go reshaped so the fuzzer, rather than a fixed seed
 // loop, explores the workload space.
 func FuzzCompletionHeapMatchesScan(f *testing.F) {
-	f.Add(int64(1), false, false)
-	f.Add(int64(42), true, false)
-	f.Add(int64(7), false, true)
-	f.Add(int64(-3), true, true)
-	f.Fuzz(func(t *testing.T, seed int64, foreign, trace bool) {
+	f.Add(int64(1), false, false, false, false)
+	f.Add(int64(42), true, false, false, false)
+	f.Add(int64(7), false, true, false, false)
+	f.Add(int64(-3), true, true, false, false)
+	f.Add(int64(9), false, false, true, false)
+	f.Add(int64(11), true, false, true, true)
+	f.Fuzz(func(t *testing.T, seed int64, foreign, trace, rackStorm, migrate bool) {
 		r := rand.New(rand.NewSource(seed))
 		jobs := randomJobs(r)
 		cfg := DefaultConfig()
@@ -27,7 +31,42 @@ func FuzzCompletionHeapMatchesScan(f *testing.F) {
 			cfg.TraceInterval = 40
 		}
 		cfg.ReleaseForeignMem = foreign
-		c := New(cfg)
+		if migrate {
+			// Graceful evacuation plus the rest of the failure-domain
+			// machinery: retry-budget blacklists and capacity-ratcheted
+			// fleet sizing.
+			cfg.MigrateOnDrain = true
+			cfg.OOMRetryBudget = 2
+			cfg.RefreshFleetSizing = true
+		}
+		var c *Cluster
+		if rackStorm {
+			// A racked uniform fleet hit by a correlated storm: one rack
+			// drains and one fails after a warning drain, and every node
+			// rejoins later. Executors caught on the warned rack exercise
+			// the migration (or run-in-place) paths under the same
+			// exact-agreement hook.
+			fleet, err := workload.UniformFleet(cfg.Nodes, workload.PaperNode())
+			if err != nil {
+				t.Fatalf("fleet: %v", err)
+			}
+			if fleet, err = workload.AssignRacks(fleet, 3, 2); err != nil {
+				t.Fatalf("racks: %v", err)
+			}
+			specs := SpecsFrom(fleet)
+			if c, err = NewHetero(cfg, specs); err != nil {
+				t.Fatalf("cluster: %v", err)
+			}
+			storm, err := RackStormEvents(specs, 1, 1, 30, 150, 20, 90, r)
+			if err != nil {
+				t.Fatalf("rack storm: %v", err)
+			}
+			if err := c.ScheduleNodeEvents(storm...); err != nil {
+				t.Fatalf("node events: %v", err)
+			}
+		} else {
+			c = New(cfg)
+		}
 		if foreign {
 			nodes := len(c.Nodes())
 			for i, fn := 0, 1+r.Intn(2); i < fn; i++ {

@@ -237,3 +237,145 @@ func TestStormEventsDeterministic(t *testing.T) {
 		t.Error("fleet-exhausting storm accepted")
 	}
 }
+
+// rackedTestSpecs builds a small racked uniform fleet for storm tests.
+func rackedTestSpecs(t *testing.T, nodes, racks, zones int) []NodeSpec {
+	t.Helper()
+	fleet, err := workload.UniformFleet(nodes, workload.PaperNode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fleet, err = workload.AssignRacks(fleet, racks, zones); err != nil {
+		t.Fatal(err)
+	}
+	return SpecsFrom(fleet)
+}
+
+// TestRackStormEventsDeterministic pins the seeded rack-storm generator: the
+// same seed yields the identical event list, element for element.
+func TestRackStormEventsDeterministic(t *testing.T) {
+	specs := rackedTestSpecs(t, 12, 4, 2)
+	gen := func() []NodeEvent {
+		evs, err := RackStormEvents(specs, 1, 2, 100, 400, 30, 120, rand.New(rand.NewSource(17)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return evs
+	}
+	a, b := gen(), gen()
+	if len(a) != len(b) {
+		t.Fatalf("storm sizes %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Errorf("event %d differs across identical seeds: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestRackStormEventsStructure checks the correlated-failure shape: every
+// node of a chosen rack leaves at the same instant, failing racks get their
+// warning drain exactly warnSec ahead, and every departed node rejoins with
+// the identical spec rejoinDelay after it went away.
+func TestRackStormEventsStructure(t *testing.T) {
+	const warn, rejoin = 30.0, 120.0
+	specs := rackedTestSpecs(t, 12, 4, 2)
+	evs, err := RackStormEvents(specs, 1, 2, 100, 400, warn, rejoin, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 racks of 3 nodes: 3 drained nodes (drain+join each) plus 6 failed
+	// nodes (drain+fail+join each).
+	if len(evs) != 3*2+6*3 {
+		t.Fatalf("%d events, want %d", len(evs), 3*2+6*3)
+	}
+	drainAt := map[int]float64{}
+	failAt := map[int]float64{}
+	goneAt := map[int]float64{}
+	var joins []NodeEvent
+	for _, ev := range evs {
+		switch ev.Kind {
+		case NodeDrain:
+			drainAt[ev.Node] = ev.At
+			if _, ok := goneAt[ev.Node]; !ok {
+				goneAt[ev.Node] = ev.At
+			}
+		case NodeFail:
+			failAt[ev.Node] = ev.At
+			goneAt[ev.Node] = ev.At
+		case NodeJoin:
+			joins = append(joins, ev)
+		}
+	}
+	rackGone := map[string]float64{}
+	//moevet:allow maporder order-independent consistency check over a set
+	for id, at := range goneAt {
+		rack := specs[id].Rack
+		if prev, ok := rackGone[rack]; ok && prev != at {
+			t.Errorf("rack %s leaves at both %v and %v", rack, prev, at)
+		}
+		rackGone[rack] = at
+	}
+	if len(rackGone) != 3 {
+		t.Fatalf("storm hit %d racks, want 3", len(rackGone))
+	}
+	//moevet:allow maporder order-independent per-node check
+	for id, at := range failAt {
+		d, ok := drainAt[id]
+		if !ok {
+			t.Errorf("failed node %d got no warning drain", id)
+			continue
+		}
+		if got := at - d; got != warn {
+			t.Errorf("node %d warned %v ahead, want %v", id, got, warn)
+		}
+	}
+	// Each departed node's spec rejoins rejoinDelay after it went away;
+	// match joins to departures by (time, spec) multiset.
+	if len(joins) != len(goneAt) {
+		t.Fatalf("%d joins for %d departures", len(joins), len(goneAt))
+	}
+	type rejoinKey struct {
+		at   float64
+		rack string
+	}
+	want := map[rejoinKey]int{}
+	for id, at := range goneAt {
+		want[rejoinKey{at + rejoin, specs[id].Rack}]++
+	}
+	for _, ev := range joins {
+		k := rejoinKey{ev.At, ev.Spec.Rack}
+		if want[k] == 0 {
+			t.Errorf("unexpected join %+v at %v", ev.Spec, ev.At)
+			continue
+		}
+		want[k]--
+	}
+}
+
+// TestRackStormEventsValidation covers the generator's error paths.
+func TestRackStormEventsValidation(t *testing.T) {
+	specs := rackedTestSpecs(t, 12, 4, 2)
+	rng := func() *rand.Rand { return rand.New(rand.NewSource(1)) }
+	if _, err := RackStormEvents(nil, 1, 1, 0, 10, 0, 0, rng()); err == nil {
+		t.Error("empty fleet accepted")
+	}
+	unracked := SpecsFrom([]workload.NodeClass{workload.PaperNode()})
+	if _, err := RackStormEvents(unracked, 1, 0, 0, 10, 0, 0, rng()); err == nil {
+		t.Error("unracked fleet accepted")
+	}
+	if _, err := RackStormEvents(specs, 0, 0, 0, 10, 0, 0, rng()); err == nil {
+		t.Error("zero-rack storm accepted")
+	}
+	if _, err := RackStormEvents(specs, -1, 2, 0, 10, 0, 0, rng()); err == nil {
+		t.Error("negative drain count accepted")
+	}
+	if _, err := RackStormEvents(specs, 2, 2, 0, 10, 0, 0, rng()); err == nil {
+		t.Error("fleet-exhausting storm accepted")
+	}
+	for _, w := range [][4]float64{{-1, 10, 0, 0}, {0, 0, 0, 0}, {0, 10, -1, 0}, {0, 10, 0, -1}} {
+		if _, err := RackStormEvents(specs, 1, 1, w[0], w[1], w[2], w[3], rng()); err == nil {
+			t.Errorf("invalid window %v accepted", w)
+		}
+	}
+}

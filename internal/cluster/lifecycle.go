@@ -21,6 +21,8 @@ func SpecsFrom(fleet []workload.NodeClass) []NodeSpec {
 			SpeedFactor: c.SpeedFactor,
 			SwapGB:      c.SwapGB,
 			OSReserveGB: c.OSReserveGB,
+			Rack:        c.Rack,
+			Zone:        c.Zone,
 		}
 	}
 	return specs
@@ -55,6 +57,70 @@ func StormEvents(nodeCount, drains, fails int, start, span, rejoinDelay float64,
 		}
 		events = append(events, NodeEvent{At: at, Kind: kind, Node: perm[i]})
 		events = append(events, NodeEvent{At: at + rejoinDelay, Kind: NodeJoin})
+	}
+	return events, nil
+}
+
+// RackStormEvents generates a seeded rack-correlated storm over an initial
+// fleet: whole racks leave together, the failure mode production schedulers
+// actually plan for (a ToR switch or PDU takes every machine behind it).
+// The specs slice is the initial fleet in node-ID order (node i has spec
+// specs[i], as NewHetero builds it); distinct rack labels are collected in
+// first-appearance order and drainRacks+failRacks of them are drawn from a
+// seeded permutation. Each chosen rack gets one uniform time in
+// [start, start+span): a drained rack drains every node at that instant; a
+// failed rack first drains every node (the warnSec advance notice a
+// maintenance controller gives — the window graceful migration gets to
+// evacuate) and then fails them warnSec later. warnSec = 0 means unannounced
+// failure. Every lost node is backfilled by a join with the identical spec —
+// same rack label — rejoinDelay after it left. The same seed yields the
+// identical storm.
+func RackStormEvents(specs []NodeSpec, drainRacks, failRacks int, start, span, warnSec, rejoinDelay float64, rng *rand.Rand) ([]NodeEvent, error) {
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("cluster: rack storm needs a non-empty fleet")
+	}
+	var racks []string
+	seen := map[string]bool{}
+	for i, s := range specs {
+		if s.Rack == "" {
+			return nil, fmt.Errorf("cluster: rack storm needs topology, node %d has no rack", i)
+		}
+		if !seen[s.Rack] {
+			seen[s.Rack] = true
+			racks = append(racks, s.Rack)
+		}
+	}
+	if drainRacks < 0 || failRacks < 0 || drainRacks+failRacks == 0 {
+		return nil, fmt.Errorf("cluster: rack storm needs a non-negative mix of drains (%d) and fails (%d)", drainRacks, failRacks)
+	}
+	if drainRacks+failRacks >= len(racks) {
+		return nil, fmt.Errorf("cluster: storm over %d racks would exhaust the %d-rack fleet", drainRacks+failRacks, len(racks))
+	}
+	if start < 0 || span <= 0 || warnSec < 0 || rejoinDelay < 0 {
+		return nil, fmt.Errorf("cluster: invalid storm window start=%v span=%v warn=%v rejoin=%v", start, span, warnSec, rejoinDelay)
+	}
+	perm := rng.Perm(len(racks))
+	events := make([]NodeEvent, 0, 3*len(specs))
+	for i := 0; i < drainRacks+failRacks; i++ {
+		rack := racks[perm[i]]
+		at := start + rng.Float64()*span
+		failing := i >= drainRacks
+		for id, s := range specs {
+			if s.Rack != rack {
+				continue
+			}
+			gone := at
+			if failing {
+				if warnSec > 0 {
+					events = append(events, NodeEvent{At: at, Kind: NodeDrain, Node: id})
+				}
+				gone = at + warnSec
+				events = append(events, NodeEvent{At: gone, Kind: NodeFail, Node: id})
+			} else {
+				events = append(events, NodeEvent{At: at, Kind: NodeDrain, Node: id})
+			}
+			events = append(events, NodeEvent{At: gone + rejoinDelay, Kind: NodeJoin, Spec: s})
+		}
 	}
 	return events, nil
 }
@@ -138,8 +204,14 @@ func (c *Cluster) ScheduleNodeEvents(events ...NodeEvent) error {
 }
 
 // applyNodeEvents fires every scheduled lifecycle event whose time has come.
+// Nodes that entered the Draining state this call are migrated after the
+// whole due batch has been applied (not per event): in a correlated storm
+// several racks can leave at the same instant, and evacuating the first one
+// before its peers' drain events have fired would migrate executors onto a
+// node about to drain itself, paying the checkpoint cost twice.
 func (c *Cluster) applyNodeEvents() error {
 	const eps = 1e-9
+	firstDraining := len(c.draining)
 	for len(c.nodeEvents) > 0 && c.nodeEvents[0].At <= c.now+eps {
 		ev := c.nodeEvents[0]
 		c.nodeEvents = c.nodeEvents[1:]
@@ -177,6 +249,16 @@ func (c *Cluster) applyNodeEvents() error {
 			c.failNode(n)
 		}
 	}
+	if c.cfg.MigrateOnDrain {
+		// Index, not range: a same-instant drain of a migration target cannot
+		// happen (all due drains fired above), but a defensive copy-free walk
+		// keeps any future append during migration visible.
+		for i := firstDraining; i < len(c.draining); i++ {
+			if n := c.draining[i]; n.state == NodeDraining {
+				c.migrateFrom(n)
+			}
+		}
+	}
 	return nil
 }
 
@@ -212,9 +294,24 @@ func (c *Cluster) completeDrains() {
 		}
 		n.state = NodeRemoved
 		n.StateTime = c.now
+		c.unblockNode(n.ID)
 	}
 	clear(c.draining[w:])
 	c.draining = c.draining[:w]
+}
+
+// unblockNode drops the node's ID from every active application's OOM
+// blacklist when the node leaves the fleet for good (decommission or
+// failure). Node IDs are never reused — joins allocate from a monotone
+// counter — so a stale entry could never block a future node, but without
+// this sweep the per-app maps grow with every decommissioned ID for the
+// app's whole lifetime (the blockedNodes leak). Behaviour is unchanged:
+// Removed/Failed nodes never pass the Available check that guards every
+// BlockedOn consultation.
+func (c *Cluster) unblockNode(id int) {
+	for _, a := range c.active {
+		delete(a.blockedNodes, id)
+	}
 }
 
 // nodeByID resolves a lifecycle event target. Failed nodes are invalid
@@ -258,6 +355,7 @@ func (c *Cluster) failNode(n *Node) {
 	}
 	n.state = NodeFailed
 	n.StateTime = c.now
+	c.unblockNode(n.ID)
 	c.markDirty(n)
 }
 

@@ -1,0 +1,318 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+)
+
+// homeScheduler places each waiting app's first executor on one fixed home
+// node and never grows it: migration tests need an app that lives on exactly
+// one node while another stays free as a target. When the home node has left
+// the fleet (the fail branch of the warn-then-fail test) it falls back to
+// the first available node, so a killed app can restart instead of stalling.
+type homeScheduler struct {
+	node    int
+	waitBuf []*App
+}
+
+func (*homeScheduler) Name() string                       { return "pin" }
+func (*homeScheduler) Prepare(*Cluster, *App) ProfilePlan { return ProfilePlan{} }
+func (s *homeScheduler) Schedule(c *Cluster) {
+	s.waitBuf = c.AppendWaitingApps(s.waitBuf[:0])
+	for _, app := range s.waitBuf {
+		if len(app.Executors) > 0 {
+			continue
+		}
+		var fallback *Node
+		for _, n := range c.Nodes() {
+			if !n.Available() {
+				continue
+			}
+			if n.ID == s.node {
+				fallback = n
+				break
+			}
+			if fallback == nil {
+				fallback = n
+			}
+		}
+		if fallback != nil {
+			c.Spawn(app, fallback, fallback.AllocatableGB(), app.RemainingGB)
+		}
+	}
+}
+
+// TestMigrateOnDrainEvacuates is the warn-then-fail scenario the rack storm
+// generator emits: a drain lands on a busy node with a free peer, then the
+// node fails shortly after. With migration the executor moves during the
+// warning, the emptied node decommissions immediately, and the later fail
+// event is a no-op against the decommissioned node; without it, the fail
+// kills the executor and charges its partial work back.
+func TestMigrateOnDrainEvacuates(t *testing.T) {
+	run := func(migrate bool) *Result {
+		cfg := DefaultConfig()
+		cfg.Nodes = 2
+		cfg.MigrateOnDrain = migrate
+		c := New(cfg)
+		if err := c.ScheduleNodeEvents(
+			NodeEvent{At: 60, Kind: NodeDrain, Node: 0},
+			NodeEvent{At: 90, Kind: NodeFail, Node: 0},
+		); err != nil {
+			t.Fatal(err)
+		}
+		subs := []Submission{{At: 0, Job: testJob(t, 200)}}
+		res, err := c.RunOpen(subs, &homeScheduler{node: 0})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Apps[0].DoneTime < 0 {
+			t.Fatal("app never finished")
+		}
+		return res
+	}
+
+	base := run(false)
+	if base.FailKills != 1 {
+		t.Fatalf("without migration: fail kills = %d, want 1", base.FailKills)
+	}
+	if base.LostWorkGB <= 0 {
+		t.Errorf("without migration: lost work = %v, want > 0 (work was in flight)", base.LostWorkGB)
+	}
+
+	mig := run(true)
+	if mig.Migrations != 1 {
+		t.Fatalf("with migration: migrations = %d, want 1", mig.Migrations)
+	}
+	if mig.FailKills != 0 {
+		t.Errorf("with migration: fail kills = %d, want 0 (node was evacuated in the warning window)", mig.FailKills)
+	}
+	if mig.LostWorkGB != 0 {
+		t.Errorf("with migration: lost work = %v, want 0", mig.LostWorkGB)
+	}
+	if mig.Apps[0].Migrations != 1 {
+		t.Errorf("per-app migrations = %d, want 1", mig.Apps[0].Migrations)
+	}
+	if base.Apps[0].DoneTime <= mig.Apps[0].DoneTime {
+		t.Errorf("reprocessing (%v) should finish later than migrating (%v)",
+			base.Apps[0].DoneTime, mig.Apps[0].DoneTime)
+	}
+}
+
+// TestMigrateEmptiedNodeDecommissions pins the drain->decommission->no-op
+// chain directly: once migration empties the draining node it leaves the
+// fleet the same instant, and both a later fail and a later drain against
+// its ID resolve to nothing regardless of when they fire.
+func TestMigrateEmptiedNodeDecommissions(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Nodes = 2
+	cfg.MigrateOnDrain = true
+	c := New(cfg)
+	if err := c.ScheduleNodeEvents(
+		NodeEvent{At: 60, Kind: NodeDrain, Node: 0},
+		NodeEvent{At: 61, Kind: NodeDrain, Node: 0}, // drain of a draining/removed node
+		NodeEvent{At: 800, Kind: NodeFail, Node: 0}, // long after decommission
+		NodeEvent{At: 900, Kind: NodeJoin, Spec: cfg.DefaultNodeSpec()},
+	); err != nil {
+		t.Fatal(err)
+	}
+	subs := []Submission{{At: 0, Job: testJob(t, 200)}}
+	res, err := c.RunOpen(subs, &homeScheduler{node: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FailKills != 0 || res.Migrations != 1 {
+		t.Fatalf("fail kills = %d, migrations = %d, want 0 and 1", res.FailKills, res.Migrations)
+	}
+	var n0 *Node
+	for _, n := range c.Nodes() {
+		if n.ID == 0 {
+			n0 = n
+		}
+	}
+	if got := n0.State(); got != NodeRemoved {
+		t.Errorf("node 0 state = %v, want removed (evacuated drains decommission immediately)", got)
+	}
+	// The rejoin after decommission took a fresh ID and is a usable node.
+	last := c.Nodes()[len(c.Nodes())-1]
+	if last.ID == 0 || last.State() != NodeActive {
+		t.Errorf("rejoined node = id %d state %v, want fresh ID and active", last.ID, last.State())
+	}
+}
+
+// TestMigrateRestartPenaltyGatesCompletion checks the cost model end to end:
+// two identical runs that differ only in the fixed restart penalty must
+// finish exactly the penalty difference apart — the migrated executor sits
+// at rate zero behind its gate for exactly that much longer.
+func TestMigrateRestartPenaltyGatesCompletion(t *testing.T) {
+	run := func(restartSec float64) float64 {
+		cfg := DefaultConfig()
+		cfg.Nodes = 2
+		cfg.MigrateOnDrain = true
+		cfg.MigrateRestartSec = restartSec
+		c := New(cfg)
+		if err := c.ScheduleNodeEvents(NodeEvent{At: 60, Kind: NodeDrain, Node: 0}); err != nil {
+			t.Fatal(err)
+		}
+		res, err := c.RunOpen([]Submission{{At: 0, Job: testJob(t, 200)}}, &homeScheduler{node: 0})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Migrations != 1 {
+			t.Fatalf("migrations = %d, want 1", res.Migrations)
+		}
+		return res.Apps[0].DoneTime
+	}
+	d1, d2 := run(8), run(23)
+	if diff := d2 - d1; math.Abs(diff-15) > 1e-6 {
+		t.Errorf("restart penalty delta: done %v vs %v (diff %v), want exactly 15s apart", d1, d2, diff)
+	}
+}
+
+// TestMigrateHandoffToSibling drains a node whose executor cannot relocate
+// (the app already runs on the only other node): the executor must hand its
+// work off to the sibling — no charge-back, no kill — and the emptied node
+// decommissions immediately, so a later fail against it is a no-op.
+func TestMigrateHandoffToSibling(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Nodes = 2
+	cfg.MigrateOnDrain = true
+	c := New(cfg)
+	if err := c.ScheduleNodeEvents(
+		NodeEvent{At: 60, Kind: NodeDrain, Node: 0},
+		NodeEvent{At: 90, Kind: NodeFail, Node: 0},
+	); err != nil {
+		t.Fatal(err)
+	}
+	// fullSpeedScheduler lands the app on both nodes before the drain.
+	res, err := c.RunOpen([]Submission{{At: 0, Job: testJob(t, 200)}}, &fullSpeedScheduler{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Migrations != 1 {
+		t.Errorf("migrations = %d, want 1 (handoff into the sibling executor)", res.Migrations)
+	}
+	if res.Apps[0].DoneTime < 0 {
+		t.Fatal("app never finished")
+	}
+	if res.LostWorkGB != 0 || res.FailKills != 0 {
+		t.Errorf("lost work = %v, fail kills = %d, want 0 and 0 (handoff preserves the work)",
+			res.LostWorkGB, res.FailKills)
+	}
+	if got := len(res.Apps[0].Executors); got != 0 {
+		t.Errorf("executors left after completion = %d, want 0", got)
+	}
+	for _, n := range c.Nodes() {
+		if n.ID == 0 && n.State() != NodeRemoved {
+			t.Errorf("node 0 state = %v, want removed the instant the handoff emptied it", n.State())
+		}
+	}
+}
+
+// TestMigrateNoFeasibleTargetStays drains the only node in the fleet: with
+// no relocation target and no sibling the executor must finish in place —
+// the pre-migration drain semantics — and the node decommissions only
+// afterwards.
+func TestMigrateNoFeasibleTargetStays(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Nodes = 1
+	cfg.MigrateOnDrain = true
+	c := New(cfg)
+	if err := c.ScheduleNodeEvents(NodeEvent{At: 60, Kind: NodeDrain, Node: 0}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.RunOpen([]Submission{{At: 0, Job: testJob(t, 200)}}, &fullSpeedScheduler{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Migrations != 0 {
+		t.Errorf("migrations = %d, want 0 (nowhere to go)", res.Migrations)
+	}
+	if res.Apps[0].DoneTime < 0 {
+		t.Fatal("app never finished")
+	}
+	if res.LostWorkGB != 0 || res.FailKills != 0 {
+		t.Errorf("lost work = %v, fail kills = %d, want 0 and 0 (drain runs work to completion)",
+			res.LostWorkGB, res.FailKills)
+	}
+	if got := c.Nodes()[0].State(); got != NodeRemoved {
+		t.Errorf("node 0 state = %v, want removed after its work finished", got)
+	}
+}
+
+// TestUnblockNodeOnDepart is the blockedNodes-leak regression test: an OOM
+// blacklist entry must disappear when its node leaves the fleet for good,
+// whether by failure or by drain decommission. Before the unblockNode sweep
+// this test fails: the per-app map kept every departed node's ID for the
+// app's whole lifetime.
+func TestUnblockNodeOnDepart(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Nodes = 3
+	c := New(cfg)
+	app := c.AddReadyApp(testJob(t, 10))
+	n1, n2 := c.Nodes()[1], c.Nodes()[2]
+
+	app.blockNode(n1, permanentBlock)
+	app.blockNode(n2, permanentBlock)
+	if !app.BlockedOn(n1, c.Now()) || !app.BlockedOn(n2, c.Now()) {
+		t.Fatal("blacklist entries not in effect")
+	}
+
+	c.failNode(n1)
+	if _, ok := app.blockedNodes[n1.ID]; ok {
+		t.Errorf("failed node %d still in blockedNodes: the map leaks", n1.ID)
+	}
+
+	// Drain path: an idle draining node decommissions on the next sweep.
+	n2.state = NodeDraining
+	c.draining = append(c.draining, n2)
+	c.completeDrains()
+	if n2.State() != NodeRemoved {
+		t.Fatalf("node %d state = %v, want removed", n2.ID, n2.State())
+	}
+	if _, ok := app.blockedNodes[n2.ID]; ok {
+		t.Errorf("decommissioned node %d still in blockedNodes: the map leaks", n2.ID)
+	}
+}
+
+// TestBlacklistRetryBudget checks the deterministic backoff policy: with a
+// budget of 2 and a 100s base cool-off the first entry expires after 100s,
+// the second after 200s, and the third is permanent; a zero budget is the
+// legacy permanent blacklist from the first OOM on.
+func TestBlacklistRetryBudget(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Nodes = 1
+	cfg.OOMRetryBudget = 2
+	cfg.OOMCoolOffSec = 100
+	c := New(cfg)
+	app := c.AddReadyApp(testJob(t, 10))
+	n := c.Nodes()[0]
+
+	u1 := c.blacklistUntil(app)
+	if u1 != 100 {
+		t.Errorf("first entry expires at %v, want 100", u1)
+	}
+	app.blockNode(n, u1)
+	if !app.BlockedOn(n, 99) {
+		t.Error("entry should block before its expiry")
+	}
+	if app.BlockedOn(n, 100) {
+		t.Error("entry should stop blocking at its expiry")
+	}
+
+	if u2 := c.blacklistUntil(app); u2 != 200 {
+		t.Errorf("second entry expires at %v, want 200 (doubled cool-off)", u2)
+	}
+	if u3 := c.blacklistUntil(app); !math.IsInf(u3, 1) {
+		t.Errorf("third entry = %v, want permanent (+Inf): budget of 2 is spent", u3)
+	}
+	if app.OOMRetries != 2 || c.totalRetries != 2 {
+		t.Errorf("retries consumed = %d/%d, want 2/2 (the permanent entry consumes none)",
+			app.OOMRetries, c.totalRetries)
+	}
+
+	legacy := New(func() Config { cfg := DefaultConfig(); cfg.Nodes = 1; return cfg }())
+	lapp := legacy.AddReadyApp(testJob(t, 10))
+	if u := legacy.blacklistUntil(lapp); !math.IsInf(u, 1) {
+		t.Errorf("zero budget: entry = %v, want permanent (+Inf)", u)
+	}
+}

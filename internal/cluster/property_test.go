@@ -22,7 +22,7 @@ func (greedyScheduler) Schedule(c *Cluster) {
 			if len(app.Executors) >= app.MaxExecutors {
 				break
 			}
-			if app.ExecutorOn(n) || app.BlockedOn(n) {
+			if app.ExecutorOn(n) || app.BlockedOn(n, c.Now()) {
 				continue
 			}
 			free := n.FreeGB()
@@ -219,7 +219,7 @@ func (s *diffScheduler) Schedule(c *Cluster) {
 			if len(app.Executors) >= app.MaxExecutors {
 				break
 			}
-			if !n.Available() || app.ExecutorOn(n) || (app.BlockedOn(n) && len(n.Executors) > 0) {
+			if !n.Available() || app.ExecutorOn(n) || (app.BlockedOn(n, c.Now()) && len(n.Executors) > 0) {
 				continue
 			}
 			free := n.FreeGB()
@@ -346,7 +346,13 @@ func (s *shadowIntegrator) step(dt float64) string {
 // approximate check is the shadow per-event integrator (see
 // shadowIntegrator), which bounds the settle-vs-per-event float drift.
 func TestIndexedEngineMatchesScanReference(t *testing.T) {
-	for seed := int64(0); seed < 25; seed++ {
+	stormMigrations := 0
+	for seed := int64(0); seed < 28; seed++ {
+		// The last three seeds run the failure-domain machinery: racked
+		// fleets, correlated rack storms with warning drains, graceful
+		// migration with handoff, OOM retry budgets and capacity-ratcheted
+		// fleet sizing — all under the same exact-agreement harness.
+		rackStorm := seed >= 25
 		r := rand.New(rand.NewSource(seed))
 		nodeCount := 6 + r.Intn(12)
 		var fleet []workload.NodeClass
@@ -361,6 +367,11 @@ func TestIndexedEngineMatchesScanReference(t *testing.T) {
 		}
 		if err != nil {
 			t.Fatalf("seed %d: fleet: %v", seed, err)
+		}
+		if rackStorm {
+			if fleet, err = workload.AssignRacks(fleet, 3, 2); err != nil {
+				t.Fatalf("seed %d: racks: %v", seed, err)
+			}
 		}
 		arrivals, err := workload.PoissonArrivals(15+r.Intn(25), 0.01+0.02*r.Float64(), r)
 		if err != nil {
@@ -380,12 +391,27 @@ func TestIndexedEngineMatchesScanReference(t *testing.T) {
 		// sums then move on foreign completion, and the reference rate check
 		// must still agree with the dirty-node pass.
 		cfg.ReleaseForeignMem = r.Intn(2) == 0
-		c, err := NewHetero(cfg, SpecsFrom(fleet))
+		if rackStorm {
+			cfg.MigrateOnDrain = true
+			cfg.OOMRetryBudget = 1 + r.Intn(3)
+			cfg.RefreshFleetSizing = true
+		}
+		specs := SpecsFrom(fleet)
+		c, err := NewHetero(cfg, specs)
 		if err != nil {
 			t.Fatalf("seed %d: cluster: %v", seed, err)
 		}
-		if r.Intn(2) == 0 {
-			span := arrivals[len(arrivals)-1].At
+		span := arrivals[len(arrivals)-1].At
+		switch {
+		case rackStorm:
+			storm, err := RackStormEvents(specs, 1, 1, span*0.1, span*0.8+1, 20, 60, r)
+			if err != nil {
+				t.Fatalf("seed %d: rack storm: %v", seed, err)
+			}
+			if err := c.ScheduleNodeEvents(storm...); err != nil {
+				t.Fatalf("seed %d: node events: %v", seed, err)
+			}
+		case r.Intn(2) == 0:
 			storm, err := StormEvents(nodeCount, 1, 1, span*0.1, span*0.8+1, 25, r)
 			if err != nil {
 				t.Fatalf("seed %d: storm: %v", seed, err)
@@ -447,6 +473,12 @@ func TestIndexedEngineMatchesScanReference(t *testing.T) {
 				t.Fatalf("seed %d: app %d finished in state %v", seed, a.ID, a.State)
 			}
 		}
+		if rackStorm {
+			stormMigrations += res.Migrations
+		}
+	}
+	if stormMigrations == 0 {
+		t.Error("rack-storm seeds never migrated an executor: the failure-domain paths went untested")
 	}
 }
 

@@ -25,6 +25,15 @@ type NodeSpec struct {
 	SwapGB float64
 	// OSReserveGB is memory unavailable to executors on this node.
 	OSReserveGB float64
+	// Rack is the node's failure domain: nodes sharing a rack share power
+	// and top-of-rack networking, so correlated faults (RackStormEvents)
+	// take them out together and spread-aware placement avoids stacking one
+	// application's executors behind a single rack. Empty means no topology
+	// information (every node its own implicit domain).
+	Rack string
+	// Zone is the coarser failure domain the rack belongs to (availability
+	// zone / room). Informational for placers; empty means unknown.
+	Zone string
 }
 
 // UsableGB is the node memory available to executors.

@@ -1,0 +1,76 @@
+package metrics
+
+import (
+	"errors"
+
+	"moespark/internal/cluster"
+)
+
+// FaultImpact summarises how much of a run a failure episode actually cost:
+// the work thrown away, the fraction of processing that was useful, how the
+// system behaved while the faults were landing, and how long it took to work
+// off the backlog afterwards. It complements QueueMetrics, which sees only
+// the latency side of the damage.
+type FaultImpact struct {
+	// LostWorkGB is the reprocessing work charged back over the whole run
+	// (OOM kills, node failures, preemptions) — Result.LostWorkGB.
+	LostWorkGB float64
+	// GoodputFrac is useful work over total work processed:
+	// sum(InputGB) / (sum(InputGB) + LostWorkGB). 1.0 means no processing
+	// was wasted on reprocessing.
+	GoodputFrac float64
+	// FaultWindowJobsPerHour is the completion rate inside the fault window
+	// [faultStartSec, faultEndSec] — the goodput the system sustained while
+	// the failures were landing.
+	FaultWindowJobsPerHour float64
+	// RecoverySec is how long past the end of the fault window the system
+	// needed to finish every application submitted before the window closed:
+	// the time to drain the backlog the episode created (0 when the affected
+	// population finished within the window).
+	RecoverySec float64
+	// Migrations, OOMRetries and FailKills echo the run's resilience
+	// counters.
+	Migrations int
+	OOMRetries int
+	FailKills  int
+}
+
+// Faults computes the degradation metrics of a finished run against a fault
+// window (typically the storm's span, e.g. first to last RackStormEvents
+// departure). The window may be empty (start == end) for a point fault.
+func Faults(res *cluster.Result, faultStartSec, faultEndSec float64) (FaultImpact, error) {
+	var fi FaultImpact
+	if res == nil || len(res.Apps) == 0 {
+		return fi, errors.New("metrics: empty run")
+	}
+	if faultStartSec < 0 || faultEndSec < faultStartSec {
+		return fi, errors.New("metrics: invalid fault window")
+	}
+	fi.LostWorkGB = res.LostWorkGB
+	fi.Migrations = res.Migrations
+	fi.OOMRetries = res.OOMRetries
+	fi.FailKills = res.FailKills
+	var usefulGB float64
+	var inWindow int
+	lastAffected := faultEndSec
+	for _, a := range res.Apps {
+		if a.DoneTime < 0 {
+			return fi, ErrIncompleteRun
+		}
+		usefulGB += a.Job.InputGB
+		if a.DoneTime >= faultStartSec && a.DoneTime <= faultEndSec {
+			inWindow++
+		}
+		if a.SubmitTime <= faultEndSec && a.DoneTime > lastAffected {
+			lastAffected = a.DoneTime
+		}
+	}
+	if total := usefulGB + fi.LostWorkGB; total > 0 {
+		fi.GoodputFrac = usefulGB / total
+	}
+	if span := faultEndSec - faultStartSec; span > 0 {
+		fi.FaultWindowJobsPerHour = float64(inWindow) / span * 3600
+	}
+	fi.RecoverySec = lastAffected - faultEndSec
+	return fi, nil
+}

@@ -224,7 +224,7 @@ func (d *Dispatcher) placeApp(c *cluster.Cluster, app *cluster.App) {
 		if !n.Available() {
 			continue
 		}
-		if app.ExecutorOn(n) || (app.BlockedOn(n) && len(n.Executors) > 0) {
+		if app.ExecutorOn(n) || (app.BlockedOn(n, c.Now()) && len(n.Executors) > 0) {
 			continue
 		}
 		if d.MaxAppsPerNode > 0 && n.AppCount() >= d.MaxAppsPerNode {

@@ -64,6 +64,39 @@ func (speedAware) Score(_ *cluster.Cluster, _ *cluster.App, n *cluster.Node) flo
 	return n.Spec.SpeedFactor / (1 + n.CPUDemand()/n.CPUCapacity())
 }
 
+// rackSpread trades failure-domain diversity against locality: the dominant
+// term pushes an application's executors onto racks where it has none yet —
+// so a rack-correlated storm (RackStormEvents) can take out at most a
+// handful of any app's executors — while the locality term breaks ties
+// among equally-diverse racks in favour of fast, idle hardware, exactly the
+// speedAware score, discounted so it can reorder candidates only within one
+// diversity level. Nodes without topology labels (empty Rack) are each
+// their own domain: the spread term sees no co-racked executors and the
+// placer degenerates to a damped speed-aware ordering.
+type rackSpread struct {
+	// locality in [0, 1) scales the speed-aware tie-break; it must stay
+	// below 1 so one rack-mate always outweighs any hardware advantage.
+	locality float64
+}
+
+// NewRackSpread returns the failure-domain-aware placement strategy with
+// the default locality weight.
+func NewRackSpread() Placer { return rackSpread{locality: 0.25} }
+
+func (rackSpread) Name() string { return "rack-spread" }
+
+func (p rackSpread) Score(_ *cluster.Cluster, app *cluster.App, n *cluster.Node) float64 {
+	score := 0.0
+	if n.Spec.Rack != "" {
+		for _, e := range app.Executors {
+			if e.Node.Spec.Rack == n.Spec.Rack {
+				score--
+			}
+		}
+	}
+	return score + p.locality*n.Spec.SpeedFactor/(1+n.CPUDemand()/n.CPUCapacity())
+}
+
 // scoredNodes is the dispatcher's reusable candidate buffer: nodes plus their
 // scores, sorted descending by score with ties in original (node-scan) order.
 // It implements sort.Interface on parallel slices so sorting allocates

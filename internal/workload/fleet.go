@@ -22,6 +22,12 @@ type NodeClass struct {
 	SwapGB float64
 	// OSReserveGB is memory unavailable to executors.
 	OSReserveGB float64
+	// Rack is the node's failure domain label (empty: no topology). Fleet
+	// generators leave it empty; AssignRacks stamps contiguous rack blocks
+	// over a generated fleet, the way machines are racked in delivery order.
+	Rack string
+	// Zone is the coarser failure domain the rack belongs to.
+	Zone string
 }
 
 // PaperNode is the paper's testbed machine: 64 GB RAM, 16 hardware threads,
@@ -70,6 +76,29 @@ func BimodalFleet(n int, big, little NodeClass, bigFrac float64, rng *rand.Rand)
 		} else {
 			fleet[i] = little
 		}
+	}
+	return fleet, nil
+}
+
+// AssignRacks stamps rack and zone labels over a fleet in place (and returns
+// it): the fleet is cut into racks contiguous blocks — machines are racked in
+// delivery order, so generated node classes stay clustered the way real
+// heterogeneous fleets are — and the racks are spread round-robin over zones
+// many zones. Rack r gets label "rack-r" and zone "zone-(r mod zones)".
+func AssignRacks(fleet []NodeClass, racks, zones int) ([]NodeClass, error) {
+	if len(fleet) == 0 {
+		return nil, fmt.Errorf("workload: cannot rack an empty fleet")
+	}
+	if racks <= 0 || racks > len(fleet) {
+		return nil, fmt.Errorf("workload: rack count %d outside [1, %d]", racks, len(fleet))
+	}
+	if zones <= 0 || zones > racks {
+		return nil, fmt.Errorf("workload: zone count %d outside [1, %d]", zones, racks)
+	}
+	for i := range fleet {
+		r := i * racks / len(fleet)
+		fleet[i].Rack = fmt.Sprintf("rack-%d", r)
+		fleet[i].Zone = fmt.Sprintf("zone-%d", r%zones)
 	}
 	return fleet, nil
 }

@@ -78,3 +78,51 @@ func TestStragglerFleetTail(t *testing.T) {
 		t.Error("floor speed above base accepted")
 	}
 }
+
+// TestAssignRacks pins the contiguous-block racking and its validation.
+func TestAssignRacks(t *testing.T) {
+	fleet, err := UniformFleet(10, PaperNode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fleet, err = AssignRacks(fleet, 4, 2); err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	zones := map[string]string{}
+	prev := ""
+	for i, n := range fleet {
+		if n.Rack == "" || n.Zone == "" {
+			t.Fatalf("node %d unracked: %+v", i, n)
+		}
+		counts[n.Rack]++
+		if z, ok := zones[n.Rack]; ok && z != n.Zone {
+			t.Errorf("rack %s spans zones %s and %s", n.Rack, z, n.Zone)
+		}
+		zones[n.Rack] = n.Zone
+		// Contiguous blocks: a rack label never reappears after it ends.
+		if n.Rack != prev && counts[n.Rack] > 1 {
+			t.Errorf("rack %s is not contiguous", n.Rack)
+		}
+		prev = n.Rack
+	}
+	if len(counts) != 4 {
+		t.Fatalf("%d racks, want 4", len(counts))
+	}
+	zoneSet := map[string]bool{}
+	//moevet:allow maporder order-independent set collection
+	for _, z := range zones {
+		zoneSet[z] = true
+	}
+	if len(zoneSet) != 2 {
+		t.Errorf("%d zones, want 2", len(zoneSet))
+	}
+	for _, bad := range [][2]int{{0, 1}, {11, 1}, {4, 0}, {2, 3}} {
+		if _, err := AssignRacks(fleet, bad[0], bad[1]); err == nil {
+			t.Errorf("AssignRacks(%d racks, %d zones) accepted", bad[0], bad[1])
+		}
+	}
+	if _, err := AssignRacks(nil, 1, 1); err == nil {
+		t.Error("empty fleet accepted")
+	}
+}
