@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -211,9 +212,28 @@ func (s *diffScheduler) Schedule(c *Cluster) {
 		}
 	}
 	s.waitBuf = c.AppendWaitingApps(s.waitBuf[:0])
+	if len(s.waitBuf) == 0 {
+		return
+	}
+	// One fleet scan bounds the best placement anywhere: whenever even the
+	// freest available node is under the 5 GB spawn minimum, every node walk
+	// below would place nothing, so the walks are skipped wholesale. The
+	// bound only decays under the loop (spawns never free memory), so it
+	// stays conservative without rescanning per app; preemption kills free
+	// memory and force a rescan. This fixes the unconditioned
+	// O(waiting×nodes) walk flagged in the settle-engine PR: on storm seeds
+	// a backed-up waiting set times a packed fleet dominated the suite's
+	// runtime while deciding nothing. Placement decisions are identical
+	// either way.
+	maxFree := maxFreeGB(c)
 	for _, app := range s.waitBuf {
 		if s.preempt && app.Class.Weight >= 2 && len(app.Executors) == 0 {
-			c.PreemptFor(app, 25, app.Job.Bench.CPULoad, 0)
+			if c.PreemptFor(app, 25, app.Job.Bench.CPULoad, 0) > 0 {
+				maxFree = maxFreeGB(c)
+			}
+		}
+		if maxFree < 5 {
+			continue
 		}
 		for _, n := range c.Nodes() {
 			if len(app.Executors) >= app.MaxExecutors {
@@ -239,6 +259,21 @@ func (s *diffScheduler) Schedule(c *Cluster) {
 			_, _ = c.Spawn(app, n, reserve, share)
 		}
 	}
+}
+
+// maxFreeGB returns the largest free reservation on any available node — the
+// upper bound diffScheduler's walk-skipping relies on.
+func maxFreeGB(c *Cluster) float64 {
+	best := 0.0
+	for _, n := range c.Nodes() {
+		if !n.Available() {
+			continue
+		}
+		if f := n.FreeGB(); f > best {
+			best = f
+		}
+	}
+	return best
 }
 
 // shadowIntegrator replays the pre-settle engine's per-event integration of
@@ -335,146 +370,222 @@ func (s *shadowIntegrator) step(dt float64) string {
 	return ""
 }
 
+// buildDiffWorkload reconstructs the differential suite's seeded workload:
+// the same seed always yields the same fleet, arrivals, classes, storms and
+// foreign tasks regardless of the shard count, so runs at different shard
+// counts simulate the identical scenario. It returns the cluster, the
+// submission stream, the scheduler, and whether this is a rack-storm seed.
+func buildDiffWorkload(t *testing.T, seed int64, shards int) (*Cluster, []Submission, *diffScheduler, bool) {
+	t.Helper()
+	// The last three seeds run the failure-domain machinery: racked
+	// fleets, correlated rack storms with warning drains, graceful
+	// migration with handoff, OOM retry budgets and capacity-ratcheted
+	// fleet sizing — all under the same exact-agreement harness.
+	rackStorm := seed >= 25
+	r := rand.New(rand.NewSource(seed))
+	nodeCount := 6 + r.Intn(12)
+	var fleet []workload.NodeClass
+	var err error
+	switch r.Intn(3) {
+	case 0:
+		fleet, err = workload.UniformFleet(nodeCount, workload.PaperNode())
+	case 1:
+		fleet, err = workload.BimodalFleet(nodeCount, workload.BigNode(), workload.LittleNode(), 0.4, r)
+	default:
+		fleet, err = workload.StragglerFleet(nodeCount, workload.PaperNode(), 0.3, 0.4, r)
+	}
+	if err != nil {
+		t.Fatalf("seed %d: fleet: %v", seed, err)
+	}
+	if rackStorm {
+		if fleet, err = workload.AssignRacks(fleet, 3, 2); err != nil {
+			t.Fatalf("seed %d: racks: %v", seed, err)
+		}
+	}
+	arrivals, err := workload.PoissonArrivals(15+r.Intn(25), 0.01+0.02*r.Float64(), r)
+	if err != nil {
+		t.Fatalf("seed %d: arrivals: %v", seed, err)
+	}
+	classed := r.Intn(2) == 0
+	if classed {
+		if arrivals, err = workload.TagArrivals(arrivals, workload.LatencyBatchMix(0.3), r); err != nil {
+			t.Fatalf("seed %d: classes: %v", seed, err)
+		}
+	}
+	cfg := DefaultConfig()
+	cfg.Shards = shards
+	if r.Intn(2) == 0 {
+		cfg.TraceInterval = 40
+	}
+	// Half the seeds release completed foreign working sets: the memory
+	// sums then move on foreign completion, and the reference rate check
+	// must still agree with the dirty-node pass.
+	cfg.ReleaseForeignMem = r.Intn(2) == 0
+	if rackStorm {
+		cfg.MigrateOnDrain = true
+		cfg.OOMRetryBudget = 1 + r.Intn(3)
+		cfg.RefreshFleetSizing = true
+	}
+	specs := SpecsFrom(fleet)
+	c, err := NewHetero(cfg, specs)
+	if err != nil {
+		t.Fatalf("seed %d: cluster: %v", seed, err)
+	}
+	span := arrivals[len(arrivals)-1].At
+	switch {
+	case rackStorm:
+		storm, err := RackStormEvents(specs, 1, 1, span*0.1, span*0.8+1, 20, 60, r)
+		if err != nil {
+			t.Fatalf("seed %d: rack storm: %v", seed, err)
+		}
+		if err := c.ScheduleNodeEvents(storm...); err != nil {
+			t.Fatalf("seed %d: node events: %v", seed, err)
+		}
+	case r.Intn(2) == 0:
+		storm, err := StormEvents(nodeCount, 1, 1, span*0.1, span*0.8+1, 25, r)
+		if err != nil {
+			t.Fatalf("seed %d: storm: %v", seed, err)
+		}
+		if err := c.ScheduleNodeEvents(storm...); err != nil {
+			t.Fatalf("seed %d: node events: %v", seed, err)
+		}
+	}
+	for i, fn := 0, r.Intn(3); i < fn; i++ {
+		// Oversized working sets bypass admission control, forcing the
+		// OOM-kill and blacklist paths on co-located executors.
+		if _, err := c.AddForeign(r.Intn(nodeCount), "co-runner", 0.2+0.5*r.Float64(), 10+25*r.Float64(), 400+600*r.Float64()); err != nil {
+			t.Fatalf("seed %d: foreign: %v", seed, err)
+		}
+	}
+	return c, Submissions(arrivals), &diffScheduler{preempt: classed, hog: seed%3 == 0}, rackStorm
+}
+
+// installDiffHook wires the full exact-agreement hook — scan-based reference
+// replays plus the shadow integrator — onto the cluster and returns the
+// fired-event counter.
+func installDiffHook(t *testing.T, c *Cluster, label string) *int {
+	t.Helper()
+	events := new(int)
+	shadow := newShadow(c)
+	c.checkEvent = func(share, dt float64, ok bool) {
+		*events++
+		if ref := c.refProfilingShare(); share != ref {
+			t.Fatalf("%s event %d: profiling share %v, reference %v", label, *events, share, ref)
+		}
+		refDt, refOK := c.refNextEventDt(share)
+		if ok != refOK || (ok && dt != refDt) {
+			t.Fatalf("%s event %d: next event dt (%v,%v), reference (%v,%v)", label, *events, dt, ok, refDt, refOK)
+		}
+		if diff := c.refCheckRates(); diff != "" {
+			t.Fatalf("%s event %d: %s", label, *events, diff)
+		}
+		if diff := c.refCheckDeadlines(share); diff != "" {
+			t.Fatalf("%s event %d: %s", label, *events, diff)
+		}
+		if diff := shadow.step(dt); diff != "" {
+			t.Fatalf("%s event %d: %s", label, *events, diff)
+		}
+		if got, ref := c.allDone(), c.refAllDone(); got != ref {
+			t.Fatalf("%s event %d: allDone %v, reference %v", label, *events, got, ref)
+		}
+		got := c.AppendWaitingApps(nil)
+		ref := c.refWaitingApps()
+		if len(got) != len(ref) {
+			t.Fatalf("%s event %d: waiting set size %d, reference %d", label, *events, len(got), len(ref))
+		}
+		for i := range got {
+			if got[i] != ref[i] {
+				t.Fatalf("%s event %d: waiting[%d] = app %d, reference app %d", label, *events, i, got[i].ID, ref[i].ID)
+			}
+		}
+	}
+	return events
+}
+
+// resultFingerprint renders every observable outcome of a run — per-app
+// timestamps and kill counters bit-for-bit (float bits, not formatted
+// decimals), foreign completions, global counters, the epoch count, and the
+// shard-count-invariant totals of the per-shard event counters — into a
+// string two runs can be compared by. Exact string equality means exact
+// (==) result equality.
+func resultFingerprint(res *Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "makespan %x epochs %d oom %d fail %d preempt %d migr %d retries %d lost %x\n",
+		math.Float64bits(res.MakespanSec), res.Epochs, res.OOMKills, res.FailKills,
+		res.PreemptKills, res.Migrations, res.OOMRetries, math.Float64bits(res.LostWorkGB))
+	var rated, wakes int64
+	for _, s := range res.ShardStats {
+		rated += s.Rated
+		wakes += s.Wakes
+	}
+	fmt.Fprintf(&b, "rated %d wakes %d\n", rated, wakes)
+	for _, a := range res.Apps {
+		fmt.Fprintf(&b, "app %d state %v submit %x ready %x start %x done %x oom %d preempt %d migr %d retries %d lost %x\n",
+			a.ID, a.State, math.Float64bits(a.SubmitTime), math.Float64bits(a.ReadyTime),
+			math.Float64bits(a.StartTime), math.Float64bits(a.DoneTime),
+			a.OOMKills, a.PreemptKills, a.Migrations, a.OOMRetries, math.Float64bits(a.LostWorkGB))
+	}
+	for _, f := range res.Foreign {
+		fmt.Fprintf(&b, "foreign %s done %x lost %v\n", f.Name, math.Float64bits(f.DoneTime), f.Lost)
+	}
+	return b.String()
+}
+
+// fingerprintDiff locates the first differing line of two fingerprints for a
+// readable failure message.
+func fingerprintDiff(want, got string) string {
+	w, g := strings.Split(want, "\n"), strings.Split(got, "\n")
+	for i := 0; i < len(w) && i < len(g); i++ {
+		if w[i] != g[i] {
+			return fmt.Sprintf("line %d:\n  shards=1: %s\n  sharded:  %s", i+1, w[i], g[i])
+		}
+	}
+	return fmt.Sprintf("fingerprint lengths differ: %d vs %d lines", len(w), len(g))
+}
+
 // TestIndexedEngineMatchesScanReference is the differential property test
-// for the event index: on seeded randomized workloads — mixed fleets, node
-// events, tenant classes, preemption, foreign tasks, profiling, traces — it
-// installs the engine's per-event hook and replays the preserved scan-based
-// reference paths (engine_ref.go) against the indexed engine's state on
-// every event, requiring exact (==, not approximate) agreement of the
-// profiling share, the chosen event dt, the completion check, the waiting
-// set, every stored rate and every stored completion deadline. The one
-// approximate check is the shadow per-event integrator (see
-// shadowIntegrator), which bounds the settle-vs-per-event float drift.
+// for the event index AND the sharded event loop: each of the 28 seeded
+// randomized workloads — mixed fleets, node events, tenant classes,
+// preemption, foreign tasks, profiling, traces, rack storms — runs at shard
+// counts 1, 2, 4 and 8 with the engine's per-event hook replaying the
+// preserved scan-based reference paths (engine_ref.go) against the indexed
+// engine's state on every event, requiring exact (==, not approximate)
+// agreement of the profiling share, the chosen event dt, the completion
+// check, the waiting set, every stored rate and every stored completion
+// deadline. On top of the per-event replay, the complete result of every
+// sharded run must be bit-identical to the shards=1 run of the same seed
+// (resultFingerprint). The one approximate check is the shadow per-event
+// integrator (see shadowIntegrator), which bounds the settle-vs-per-event
+// float drift.
 func TestIndexedEngineMatchesScanReference(t *testing.T) {
 	stormMigrations := 0
 	for seed := int64(0); seed < 28; seed++ {
-		// The last three seeds run the failure-domain machinery: racked
-		// fleets, correlated rack storms with warning drains, graceful
-		// migration with handoff, OOM retry budgets and capacity-ratcheted
-		// fleet sizing — all under the same exact-agreement harness.
-		rackStorm := seed >= 25
-		r := rand.New(rand.NewSource(seed))
-		nodeCount := 6 + r.Intn(12)
-		var fleet []workload.NodeClass
-		var err error
-		switch r.Intn(3) {
-		case 0:
-			fleet, err = workload.UniformFleet(nodeCount, workload.PaperNode())
-		case 1:
-			fleet, err = workload.BimodalFleet(nodeCount, workload.BigNode(), workload.LittleNode(), 0.4, r)
-		default:
-			fleet, err = workload.StragglerFleet(nodeCount, workload.PaperNode(), 0.3, 0.4, r)
-		}
-		if err != nil {
-			t.Fatalf("seed %d: fleet: %v", seed, err)
-		}
-		if rackStorm {
-			if fleet, err = workload.AssignRacks(fleet, 3, 2); err != nil {
-				t.Fatalf("seed %d: racks: %v", seed, err)
-			}
-		}
-		arrivals, err := workload.PoissonArrivals(15+r.Intn(25), 0.01+0.02*r.Float64(), r)
-		if err != nil {
-			t.Fatalf("seed %d: arrivals: %v", seed, err)
-		}
-		classed := r.Intn(2) == 0
-		if classed {
-			if arrivals, err = workload.TagArrivals(arrivals, workload.LatencyBatchMix(0.3), r); err != nil {
-				t.Fatalf("seed %d: classes: %v", seed, err)
-			}
-		}
-		cfg := DefaultConfig()
-		if r.Intn(2) == 0 {
-			cfg.TraceInterval = 40
-		}
-		// Half the seeds release completed foreign working sets: the memory
-		// sums then move on foreign completion, and the reference rate check
-		// must still agree with the dirty-node pass.
-		cfg.ReleaseForeignMem = r.Intn(2) == 0
-		if rackStorm {
-			cfg.MigrateOnDrain = true
-			cfg.OOMRetryBudget = 1 + r.Intn(3)
-			cfg.RefreshFleetSizing = true
-		}
-		specs := SpecsFrom(fleet)
-		c, err := NewHetero(cfg, specs)
-		if err != nil {
-			t.Fatalf("seed %d: cluster: %v", seed, err)
-		}
-		span := arrivals[len(arrivals)-1].At
-		switch {
-		case rackStorm:
-			storm, err := RackStormEvents(specs, 1, 1, span*0.1, span*0.8+1, 20, 60, r)
+		var base string
+		for _, shards := range []int{1, 2, 4, 8} {
+			c, subs, sched, rackStorm := buildDiffWorkload(t, seed, shards)
+			label := fmt.Sprintf("seed %d shards %d:", seed, shards)
+			events := installDiffHook(t, c, label)
+			res, err := c.RunOpen(subs, sched)
 			if err != nil {
-				t.Fatalf("seed %d: rack storm: %v", seed, err)
+				t.Fatalf("%s run: %v", label, err)
 			}
-			if err := c.ScheduleNodeEvents(storm...); err != nil {
-				t.Fatalf("seed %d: node events: %v", seed, err)
+			if *events == 0 {
+				t.Fatalf("%s differential hook never fired", label)
 			}
-		case r.Intn(2) == 0:
-			storm, err := StormEvents(nodeCount, 1, 1, span*0.1, span*0.8+1, 25, r)
-			if err != nil {
-				t.Fatalf("seed %d: storm: %v", seed, err)
-			}
-			if err := c.ScheduleNodeEvents(storm...); err != nil {
-				t.Fatalf("seed %d: node events: %v", seed, err)
-			}
-		}
-		for i, fn := 0, r.Intn(3); i < fn; i++ {
-			// Oversized working sets bypass admission control, forcing the
-			// OOM-kill and blacklist paths on co-located executors.
-			if _, err := c.AddForeign(r.Intn(nodeCount), "co-runner", 0.2+0.5*r.Float64(), 10+25*r.Float64(), 400+600*r.Float64()); err != nil {
-				t.Fatalf("seed %d: foreign: %v", seed, err)
-			}
-		}
-		events := 0
-		shadow := newShadow(c)
-		c.checkEvent = func(share, dt float64, ok bool) {
-			events++
-			if ref := c.refProfilingShare(); share != ref {
-				t.Fatalf("seed %d event %d: profiling share %v, reference %v", seed, events, share, ref)
-			}
-			refDt, refOK := c.refNextEventDt(share)
-			if ok != refOK || (ok && dt != refDt) {
-				t.Fatalf("seed %d event %d: next event dt (%v,%v), reference (%v,%v)", seed, events, dt, ok, refDt, refOK)
-			}
-			if diff := c.refCheckRates(); diff != "" {
-				t.Fatalf("seed %d event %d: %s", seed, events, diff)
-			}
-			if diff := c.refCheckDeadlines(share); diff != "" {
-				t.Fatalf("seed %d event %d: %s", seed, events, diff)
-			}
-			if diff := shadow.step(dt); diff != "" {
-				t.Fatalf("seed %d event %d: %s", seed, events, diff)
-			}
-			if got, ref := c.allDone(), c.refAllDone(); got != ref {
-				t.Fatalf("seed %d event %d: allDone %v, reference %v", seed, events, got, ref)
-			}
-			got := c.AppendWaitingApps(nil)
-			ref := c.refWaitingApps()
-			if len(got) != len(ref) {
-				t.Fatalf("seed %d event %d: waiting set size %d, reference %d", seed, events, len(got), len(ref))
-			}
-			for i := range got {
-				if got[i] != ref[i] {
-					t.Fatalf("seed %d event %d: waiting[%d] = app %d, reference app %d", seed, events, i, got[i].ID, ref[i].ID)
+			for _, a := range res.Apps {
+				if a.State != StateDone {
+					t.Fatalf("%s app %d finished in state %v", label, a.ID, a.State)
 				}
 			}
-		}
-		res, err := c.RunOpen(Submissions(arrivals), &diffScheduler{preempt: classed, hog: seed%3 == 0})
-		if err != nil {
-			t.Fatalf("seed %d: run: %v", seed, err)
-		}
-		if events == 0 {
-			t.Fatalf("seed %d: differential hook never fired", seed)
-		}
-		for _, a := range res.Apps {
-			if a.State != StateDone {
-				t.Fatalf("seed %d: app %d finished in state %v", seed, a.ID, a.State)
+			fp := resultFingerprint(res)
+			if shards == 1 {
+				base = fp
+				if rackStorm {
+					stormMigrations += res.Migrations
+				}
+			} else if fp != base {
+				t.Fatalf("%s result diverged from shards=1 at %s", label, fingerprintDiff(base, fp))
 			}
-		}
-		if rackStorm {
-			stormMigrations += res.Migrations
 		}
 	}
 	if stormMigrations == 0 {
@@ -525,23 +636,29 @@ func TestIndexedEngineMatchesScanReference20000(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	c, err := NewHetero(DefaultConfig(), SpecsFrom(fleet))
-	if err != nil {
-		t.Fatal(err)
-	}
-	span := tagged[len(tagged)-1].At
-	storm, err := StormEvents(nodes, 4, 4, span*0.1, span*0.8, 30, rand.New(rand.NewSource(4)))
-	if err != nil {
-		t.Fatal(err)
-	}
-	if err := c.ScheduleNodeEvents(storm...); err != nil {
-		t.Fatal(err)
-	}
-	for i := 0; i < 3; i++ {
-		if _, err := c.AddForeign(i*7, "co-runner", 0.4, 20, 900); err != nil {
+	build := func(shards int) *Cluster {
+		cfg := DefaultConfig()
+		cfg.Shards = shards
+		c, err := NewHetero(cfg, SpecsFrom(fleet))
+		if err != nil {
 			t.Fatal(err)
 		}
+		span := tagged[len(tagged)-1].At
+		storm, err := StormEvents(nodes, 4, 4, span*0.1, span*0.8, 30, rand.New(rand.NewSource(4)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.ScheduleNodeEvents(storm...); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 3; i++ {
+			if _, err := c.AddForeign(i*7, "co-runner", 0.4, 20, 900); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return c
 	}
+	c := build(1)
 	events, checked := 0, 0
 	shadow := newShadow(c)
 	c.checkEvent = func(share, dt float64, ok bool) {
@@ -591,6 +708,15 @@ func TestIndexedEngineMatchesScanReference20000(t *testing.T) {
 		if a.State != StateDone {
 			t.Fatalf("app %d finished in state %v", a.ID, a.State)
 		}
+	}
+	// Replay the identical 20k workload on two shards — no hook, full speed —
+	// and require the complete result bit-identical to the single-loop run.
+	sharded, err := build(2).RunOpen(Submissions(tagged), &scaleDiffScheduler{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base, got := resultFingerprint(res), resultFingerprint(sharded); got != base {
+		t.Fatalf("shards=2 result diverged from shards=1 at %s", fingerprintDiff(base, got))
 	}
 }
 

@@ -1,0 +1,146 @@
+package cluster
+
+// This file is the sharded event loop: the engine's per-node work split
+// across Config.Shards partitions, synchronised at every event boundary.
+//
+// One event-loop iteration is one epoch. The serial phases — lifecycle
+// events, drain completion, admission, the policy's Schedule, deadline
+// refresh, event selection, completion pops — are inherently global (they
+// read and mutate cross-shard state: admission waves, preemption targeting,
+// fleet-aware sizing, drain migration) and stay exactly the single-loop code.
+// What fans out is the per-node half of rate recomputation, the engine's
+// dominant cost on co-location-heavy fleets: after a serial settle/OOM
+// prepass over the dirty nodes in node-ID order (the order the single loop
+// uses — OOM charge-backs on different nodes can touch the same application,
+// so this order is semantics), each shard recomputes the pure rate formulas
+// of its own dirty nodes concurrently, then the loop rejoins at the epoch
+// edge before deadlines are refreshed. Anything that crosses shards — an
+// application spanning nodes on different shards, a storm, a preemption — is
+// therefore applied in canonical engine order on the serial side of the
+// barrier.
+//
+// Bit-identity at any shard count holds because the parallel half is pure
+// per-node arithmetic over state the prepass froze: the rate formula reads
+// only the node's own executor/foreign lists, spec, CPU cap and startup/
+// migration gates, none of which another node's settle or OOM kill can
+// change, and it writes only the node's own rates, its wake time and its own
+// shard's wake heap (each node belongs to exactly one shard, so no slot is
+// written twice). Per-shard wake heaps keep the pop order irrelevant: a
+// wake-up only re-dirties its node, and the dirty list is re-sorted by node
+// ID before every pass. shards=1 runs the identical code composition with no
+// pool and a single wake heap — bit-for-bit today's engine, pinned by the
+// differential suite across shard counts.
+
+// ShardStat summarises one event-loop shard's share of a run (Result.ShardStats).
+type ShardStat struct {
+	// Shard is the partition index.
+	Shard int
+	// Nodes counts the nodes homed on the shard at the end of the run.
+	Nodes int
+	// Rated counts the per-node rate recomputations the shard executed.
+	Rated int64
+	// Wakes counts the startup/migration gate expiries served off the shard's
+	// wake heap.
+	Wakes int64
+}
+
+// assignShards homes every initial node on an event-loop partition. When the
+// whole fleet carries rack topology, racks (in first-appearance order) are
+// packed into contiguous shard groups balanced by node count, so a rack —
+// the failure domain correlated storms hit — never straddles shards;
+// otherwise nodes fall back to contiguous ID blocks. Either way the
+// assignment is a pure function of the spec list and the shard count.
+func (c *Cluster) assignShards() {
+	c.rackShard = nil
+	if c.shards <= 1 {
+		return
+	}
+	racked := true
+	for _, n := range c.nodes {
+		if n.Spec.Rack == "" {
+			racked = false
+			break
+		}
+	}
+	if !racked {
+		for i, n := range c.nodes {
+			n.shard = i * c.shards / len(c.nodes)
+		}
+		return
+	}
+	c.rackShard = make(map[string]int)
+	var racks []string
+	rackNodes := make(map[string]int)
+	for _, n := range c.nodes {
+		if _, ok := rackNodes[n.Spec.Rack]; !ok {
+			racks = append(racks, n.Spec.Rack)
+		}
+		rackNodes[n.Spec.Rack]++
+	}
+	assigned, shard := 0, 0
+	for _, r := range racks {
+		// Advance once the current shard holds its proportional share of the
+		// fleet, never past the last shard.
+		for shard < c.shards-1 && assigned >= (shard+1)*len(c.nodes)/c.shards {
+			shard++
+		}
+		c.rackShard[r] = shard
+		assigned += rackNodes[r]
+	}
+	for _, n := range c.nodes {
+		n.shard = c.rackShard[n.Spec.Rack]
+	}
+}
+
+// joinShard picks the partition of a node joining mid-run: its rack's shard
+// when the initial fleet was rack-partitioned and the rack is known (a
+// backfill rejoining its rack lands with its peers), otherwise its ID modulo
+// the shard count. Deterministic either way — IDs come from a monotone
+// counter.
+func (c *Cluster) joinShard(id int, spec NodeSpec) int {
+	if c.shards <= 1 {
+		return 0
+	}
+	if spec.Rack != "" {
+		if s, ok := c.rackShard[spec.Rack]; ok {
+			return s
+		}
+	}
+	return id % c.shards
+}
+
+// rateDirtySharded is the sharded rate pass (the dirty list is already sorted
+// by node ID): the serial settle/OOM prepass in that order, then the pure
+// rate halves fanned out across the shard pool, one partition per shard. See
+// the file comment for why the fan-out is bit-identical to the single loop.
+func (c *Cluster) rateDirtySharded() {
+	// Index walk, not a range: enforceOOM inside the prepass can markDirty
+	// (today only the node being settled, whose flag is still set, but an
+	// appended node must be settled too, exactly as in the single loop).
+	for i := 0; i < len(c.dirtyNodes); i++ {
+		c.settleNode(c.dirtyNodes[i])
+	}
+	if cap(c.shardDirty) < c.shards {
+		c.shardDirty = make([][]*Node, c.shards)
+	}
+	c.shardDirty = c.shardDirty[:c.shards]
+	for s := range c.shardDirty {
+		c.shardDirty[s] = c.shardDirty[s][:0]
+	}
+	for _, n := range c.dirtyNodes {
+		c.shardDirty[n.shard] = append(c.shardDirty[n.shard], n)
+	}
+	c.pool.Run(func(part int) {
+		for _, n := range c.shardDirty[part] {
+			c.computeNodeRates(n, part)
+		}
+	})
+	for _, n := range c.dirtyNodes {
+		n.dirty = false
+	}
+	c.dirtyNodes = c.dirtyNodes[:0]
+}
+
+// Shards returns the resolved event-loop partition count (1 on a single-loop
+// cluster).
+func (c *Cluster) Shards() int { return c.shards }

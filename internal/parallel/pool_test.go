@@ -1,0 +1,71 @@
+package parallel
+
+import (
+	"runtime"
+	"testing"
+)
+
+// TestPoolPartitionedSums drives a pool through many generations and checks
+// that every partition ran exactly once per Run and wrote only its own slot.
+func TestPoolPartitionedSums(t *testing.T) {
+	for _, parts := range []int{1, 2, 3, 8} {
+		p := NewPool(parts)
+		slots := make([]int, parts)
+		const rounds = 500
+		for r := 0; r < rounds; r++ {
+			p.Run(func(part int) {
+				slots[part]++
+			})
+		}
+		p.Close()
+		for i, got := range slots {
+			if got != rounds {
+				t.Fatalf("parts=%d: partition %d ran %d times, want %d", parts, i, got, rounds)
+			}
+		}
+	}
+}
+
+// TestPoolBarrier checks the join: after Run returns, every partition's output
+// from THIS generation is visible to the caller.
+func TestPoolBarrier(t *testing.T) {
+	const parts = 4
+	p := NewPool(parts)
+	defer p.Close()
+	out := make([]int, parts)
+	for gen := 1; gen <= 200; gen++ {
+		g := gen
+		p.Run(func(part int) {
+			out[part] = g*10 + part
+		})
+		for i := 0; i < parts; i++ {
+			if out[i] != gen*10+i {
+				t.Fatalf("gen %d: slot %d holds %d, want %d", gen, i, out[i], gen*10+i)
+			}
+		}
+	}
+}
+
+// TestPoolCloseStopsWorkers checks Close reaps its goroutines (pools are
+// created per engine run; leaking workers across thousands of test runs would
+// add up) and that double Close is a no-op.
+func TestPoolCloseStopsWorkers(t *testing.T) {
+	before := runtime.NumGoroutine()
+	pools := make([]*Pool, 50)
+	for i := range pools {
+		pools[i] = NewPool(4)
+	}
+	for _, p := range pools {
+		p.Run(func(part int) {})
+		p.Close()
+		p.Close()
+	}
+	// Workers have acknowledged exit before Close returns; NumGoroutine can
+	// still be momentarily high while exited goroutines are reaped.
+	for i := 0; i < 100 && runtime.NumGoroutine() > before+5; i++ {
+		runtime.Gosched()
+	}
+	if g := runtime.NumGoroutine(); g > before+5 {
+		t.Fatalf("goroutines leaked: %d before, %d after", before, g)
+	}
+}
